@@ -1,0 +1,74 @@
+"""SCALE: cost and structure of the checkers as networks grow.
+
+Two ablations from DESIGN.md:
+
+* **CWG vs CDG as verification object** -- for HPL the CWG stays acyclic at
+  every size while the CDG is cyclic, and the CWG's *waited-target* set is a
+  small fraction of the CDG's target set: the paper's point that most
+  dependencies cannot deadlock;
+* **checker runtime scaling** -- building the CWG and verifying Theorem 2
+  across mesh/hypercube sizes (the worst case is exponential; these
+  instances are the polynomial fast path because the CWGs are acyclic).
+"""
+
+import time
+
+from repro.core import ChannelWaitingGraph, find_one_cycle
+from repro.deps import ChannelDependencyGraph
+from repro.routing import EnhancedFullyAdaptive, HighestPositiveLast
+from repro.topology import build_hypercube, build_mesh
+from repro.verify import verify
+
+
+def test_scaling_hpl_meshes(benchmark, once, table):
+    sizes = [(3, 3), (4, 4), (6, 6), (8, 8), (4, 4, 4)]
+
+    def sweep():
+        rows = []
+        for dims in sizes:
+            net = build_mesh(dims)
+            ra = HighestPositiveLast(net)
+            t0 = time.perf_counter()
+            cwg = ChannelWaitingGraph(ra)
+            cdg = ChannelDependencyGraph(ra)
+            verdict = verify(ra, cwg=cwg)
+            dt = time.perf_counter() - t0
+            cwg_targets = len({b for (_, b) in cwg.edges})
+            cdg_targets = len({b for (_, b) in cdg.edges})
+            rows.append((
+                dims, len(net.link_channels), len(cwg), len(cdg),
+                cwg_targets, cdg_targets,
+                find_one_cycle(cwg.graph()) is None,
+                not cdg.is_acyclic(),
+                verdict.deadlock_free,
+                f"{dt:.2f}s",
+            ))
+        return rows
+
+    rows = once(benchmark, sweep)
+    table("Checker scaling: HPL on growing meshes",
+          ["mesh", "channels", "CWG edges", "CDG edges",
+           "waited targets", "CDG targets", "CWG acyclic", "CDG cyclic",
+           "deadlock-free", "time"], rows)
+    for r in rows:
+        assert r[6] and r[7] and r[8]
+        assert r[4] < r[5]  # waiting targets are the smaller set
+
+
+def test_scaling_efa_hypercubes(benchmark, once, table):
+    def sweep():
+        rows = []
+        for n in (2, 3, 4, 5):
+            net = build_hypercube(n, num_vcs=2)
+            ra = EnhancedFullyAdaptive(net)
+            t0 = time.perf_counter()
+            v = verify(ra)
+            dt = time.perf_counter() - t0
+            rows.append((n, len(net.link_channels), v.evidence.get("cwg_edges"),
+                         v.deadlock_free, f"{dt:.2f}s"))
+        return rows
+
+    rows = once(benchmark, sweep)
+    table("Checker scaling: EFA on growing hypercubes",
+          ["dim", "channels", "CWG edges", "deadlock-free", "time"], rows)
+    assert all(r[3] for r in rows)

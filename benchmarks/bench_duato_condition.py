@@ -1,0 +1,85 @@
+"""DUATO-NS: the titled ICPP'94 condition, mechanized and cross-validated.
+
+* Duato's fully adaptive mesh/hypercube/torus algorithms are certified by
+  his own condition (connected escape subfunction, acyclic extended CDG);
+* on every algorithm where Duato's hypotheses hold, his condition and the
+  supplied paper's CWG condition agree;
+* on the paper's algorithms (HPL, EFA) and examples Duato's condition is
+  inapplicable -- the precise gap the CWG condition closes.
+"""
+
+from repro.deps import ExtendedChannelDependencyGraph, escape_by_vc
+from repro.routing import (
+    DimensionOrderMesh,
+    DuatoFullyAdaptiveHypercube,
+    DuatoFullyAdaptiveMesh,
+    DuatoFullyAdaptiveTorus,
+    EnhancedFullyAdaptive,
+    HighestPositiveLast,
+    IncoherentExample,
+    NegativeFirst,
+)
+from repro.topology import build_figure1_network, build_hypercube, build_mesh, build_torus
+from repro.verify import search_escape, verify
+
+
+def test_duato_certifies_his_algorithms(benchmark, once, table):
+    def run():
+        rows = []
+        for label, ra in (
+            ("duato-mesh 4x4", DuatoFullyAdaptiveMesh(build_mesh((4, 4), num_vcs=2))),
+            ("duato-hypercube 3", DuatoFullyAdaptiveHypercube(build_hypercube(3, num_vcs=2))),
+            ("duato-torus 4x4", DuatoFullyAdaptiveTorus(build_torus((4, 4), num_vcs=3))),
+        ):
+            ecdg = ExtendedChannelDependencyGraph(ra, escape_by_vc(ra, (0, 1) if "torus" in label else (0,)))
+            rows.append((label, ecdg.subfunction_connected()[0], ecdg.is_acyclic(), len(ecdg)))
+        return rows
+
+    rows = once(benchmark, run)
+    table("Duato's condition on Duato's algorithms",
+          ["algorithm", "R1 connected", "ECDG acyclic", "ECDG deps"], rows)
+    for label, connected, acyclic, _ in rows:
+        assert connected and acyclic, label
+
+
+def test_conditions_agree_where_both_apply(benchmark, once, table):
+    def run():
+        rows = []
+        mesh2 = build_mesh((3, 3), num_vcs=2)
+        mesh1 = build_mesh((3, 3))
+        for ra in (
+            DuatoFullyAdaptiveMesh(mesh2),
+            DimensionOrderMesh(mesh1),
+            NegativeFirst(mesh1),
+        ):
+            d = search_escape(ra)
+            c = verify(ra)
+            rows.append((ra.name, d.deadlock_free, c.deadlock_free))
+        return rows
+
+    rows = once(benchmark, run)
+    table("Agreement: Duato vs CWG condition (coherent algorithms)",
+          ["algorithm", "Duato", "CWG (Thm 2/3)"], rows)
+    for name, duato, cwg in rows:
+        assert duato == cwg, name
+
+
+def test_duato_gap_on_papers_algorithms(benchmark, once, table):
+    def run():
+        rows = []
+        for ra in (
+            HighestPositiveLast(build_mesh((3, 3))),
+            EnhancedFullyAdaptive(build_hypercube(3, num_vcs=2)),
+            IncoherentExample(build_figure1_network()),
+        ):
+            d = search_escape(ra)
+            c = verify(ra)
+            rows.append((ra.name, d.reason[:46], c.deadlock_free))
+        return rows
+
+    rows = once(benchmark, run)
+    table("The gap: Duato inapplicable, CWG condition decides",
+          ["algorithm", "Duato says", "CWG verdict"], rows)
+    for name, duato_reason, cwg in rows:
+        assert "not applicable" in duato_reason, name
+        assert cwg, name  # all three are in fact deadlock-free

@@ -1,0 +1,72 @@
+"""FIG5: degree of adaptiveness of Enhanced vs Duato vs e-cube.
+
+Regenerates the paper's Figure 5 series exactly (hypercube dimensions
+1..12).  Shape expectations from DESIGN.md: every curve starts at 1.0 and
+decreases; Enhanced > Duato > e-cube for every dimension >= 2; e-cube
+collapses toward 0 while Enhanced stays above one half at dimension 12.
+
+The closed forms / DP are cross-validated against brute-force enumeration
+of the actual routing relations on the 3-cube (also timed here, as the
+honest cost of the naive method the exact counting replaces).
+"""
+
+from math import isclose
+
+from repro.metrics import (
+    average_degree,
+    duato_ratio,
+    ecube_ratio,
+    efa_ratio,
+    empirical_degree,
+    figure5_series,
+)
+from repro.routing import (
+    DimensionOrderHypercube,
+    DuatoFullyAdaptiveHypercube,
+    EnhancedFullyAdaptive,
+)
+from repro.topology import build_hypercube
+
+
+def test_fig5_series(benchmark, once, table):
+    series = once(benchmark, lambda: figure5_series(12))
+    rows = [
+        (n,
+         f"{series['e-cube'][i]:.4f}",
+         f"{series['duato'][i]:.4f}",
+         f"{series['enhanced'][i]:.4f}")
+        for i, n in enumerate(series["dimension"])
+    ]
+    table("Figure 5: degree of adaptiveness (hypercube dimensions 1..12)",
+          ["dim", "e-cube", "Duato", "Enhanced"], rows)
+
+    e, d, f = series["e-cube"], series["duato"], series["enhanced"]
+    assert e[0] == d[0] == f[0] == 1.0
+    for i in range(1, 12):
+        assert f[i] > d[i] > e[i]
+        assert f[i] <= f[i - 1] and d[i] <= d[i - 1] and e[i] <= e[i - 1]
+    assert e[-1] < 0.05 and f[-1] > 0.5
+
+
+def test_fig5_brute_force_crosscheck(benchmark, once, table):
+    h2 = build_hypercube(3, num_vcs=2)
+    h1 = build_hypercube(3, num_vcs=1)
+
+    def brute():
+        return (
+            empirical_degree(DimensionOrderHypercube(h1), vcs=1),
+            empirical_degree(DuatoFullyAdaptiveHypercube(h2), vcs=2),
+            empirical_degree(EnhancedFullyAdaptive(h2), vcs=2),
+        )
+
+    ecube_emp, duato_emp, efa_emp = once(benchmark, brute)
+    rows = [
+        ("e-cube", f"{ecube_emp:.6f}", f"{average_degree(3, ecube_ratio):.6f}"),
+        ("Duato", f"{duato_emp:.6f}", f"{average_degree(3, duato_ratio):.6f}"),
+        ("Enhanced", f"{efa_emp:.6f}", f"{average_degree(3, efa_ratio):.6f}"),
+    ]
+    table("Figure 5 cross-check on the 3-cube (brute force vs closed form)",
+          ["algorithm", "enumerated", "exact"], rows)
+    assert isclose(ecube_emp, average_degree(3, ecube_ratio), rel_tol=1e-12)
+    assert isclose(duato_emp, average_degree(3, duato_ratio), rel_tol=1e-12)
+    assert isclose(efa_emp, average_degree(3, efa_ratio), rel_tol=1e-12)

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: verify a routing algorithm and watch it run.
+
+Builds a 4x4 mesh, checks three generations of deadlock-freedom theory on
+two algorithms (dimension-order e-cube and the paper's Highest Positive
+Last), then runs both in the flit-level simulator.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.routing import DimensionOrderMesh, HighestPositiveLast
+from repro.sim import BernoulliTraffic, SimConfig, WormholeSimulator
+from repro.topology import build_mesh
+from repro.verify import dally_seitz, search_escape, verify
+
+
+def main() -> None:
+    net = build_mesh((4, 4))
+    print(f"network: {net}")
+
+    for ra in (DimensionOrderMesh(net), HighestPositiveLast(net)):
+        print(f"\n--- {ra.describe()} ---")
+        # 1987: acyclic channel dependency graph
+        print(" ", dally_seitz(ra))
+        # 1994 (Duato): escape subfunction with acyclic extended CDG
+        print(" ", search_escape(ra))
+        # the paper's condition: channel waiting graph (Theorems 2/3)
+        print(" ", verify(ra))
+
+    # Only the CWG condition certifies HPL; now watch it actually run.
+    print("\n--- simulation: HPL, uniform traffic, 0.2 flits/node/cycle ---")
+    ra = HighestPositiveLast(net)
+    sim = WormholeSimulator(
+        ra,
+        BernoulliTraffic(net, rate=0.2, length=8, stop_at=3000),
+        SimConfig(seed=42),
+    )
+    sim.run(3000)
+    assert sim.deadlock is None
+    sim.drain()
+    summary = sim.stats.summary(cycles=sim.cycle, num_nodes=net.num_nodes, warmup=500)
+    print(f"  delivered {summary.messages_delivered} messages")
+    print(f"  average latency {summary.avg_latency:.1f} cycles "
+          f"(p95 {summary.p95_latency:.1f})")
+    print(f"  throughput {summary.throughput_flits_per_node_cycle:.4f} flits/node/cycle")
+    print("  no deadlock, as proved.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""repro: deadlock-free adaptive wormhole routing, reproduced end to end.
+
+Subpackages
+-----------
+* :mod:`repro.topology` -- interconnection networks and generators;
+* :mod:`repro.routing` -- routing relations, waiting channels, and every
+  routing algorithm the paper discusses;
+* :mod:`repro.deps` -- channel dependency graphs and Duato's extended CDG;
+* :mod:`repro.core` -- the channel waiting graph theory (the paper's
+  contribution): CWG, cycle classification, True-Cycle search, CWG'
+  reduction;
+* :mod:`repro.verify` -- one-call deadlock-freedom verifiers for all three
+  generations of the theory;
+* :mod:`repro.sim` -- a flit-level wormhole simulator with runtime deadlock
+  detection and fault injection;
+* :mod:`repro.metrics` -- degree-of-adaptiveness and path-diversity metrics.
+
+Quick start::
+
+    from repro.topology import build_mesh
+    from repro.routing import HighestPositiveLast
+    from repro.verify import verify
+
+    print(verify(HighestPositiveLast(build_mesh((4, 4)))))
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,170 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands
+-----------
+``verify``   run the deadlock-freedom verifiers on a cataloged algorithm;
+``catalog``  list the routing algorithms and their certified properties;
+``dot``      emit the CWG or CDG of an algorithm as Graphviz DOT;
+``simulate`` run the wormhole simulator and print a latency/throughput row.
+
+Examples::
+
+    python -m repro catalog
+    python -m repro verify --algorithm highest-positive-last --topology mesh --dims 4,4
+    python -m repro dot --algorithm incoherent-example --topology figure1 --graph cwg
+    python -m repro simulate --algorithm e-cube-mesh --topology mesh --dims 8,8 \
+        --rate 0.2 --cycles 3000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .export import to_dot, verdict_block
+from .routing import CATALOG, make
+from .topology import (
+    build_figure1_network,
+    build_figure4_ring,
+    build_hypercube,
+    build_mesh,
+    build_torus,
+)
+
+
+def _build_network(args) -> object:
+    dims = tuple(int(x) for x in args.dims.split(",")) if args.dims else None
+    vcs = args.vcs
+    if args.topology == "mesh":
+        return build_mesh(dims or (4, 4), num_vcs=vcs or 1)
+    if args.topology == "torus":
+        return build_torus(dims or (4, 4), num_vcs=vcs or 1)
+    if args.topology == "hypercube":
+        return build_hypercube(dims[0] if dims else 3, num_vcs=vcs or 1)
+    if args.topology == "figure1":
+        return build_figure1_network()
+    if args.topology == "figure4":
+        return build_figure4_ring()
+    raise SystemExit(f"unknown topology {args.topology!r}")
+
+
+def _default_vcs(name: str) -> int:
+    return CATALOG[name].min_vcs if name in CATALOG else 1
+
+
+def cmd_catalog(args) -> int:
+    width = max(len(n) for n in CATALOG)
+    print(f"{'name'.ljust(width)}  topo       vcs  adaptivity   safe  certified by")
+    for name in sorted(CATALOG):
+        e = CATALOG[name]
+        print(
+            f"{name.ljust(width)}  {e.topology:<9}  {e.min_vcs:<3}  "
+            f"{e.adaptivity:<11}  {'yes' if e.deadlock_free else 'NO ':<4}  {e.certified_by}"
+        )
+    return 0
+
+
+def cmd_verify(args) -> int:
+    from .verify import dally_seitz, search_escape, verify
+
+    if args.vcs is None:
+        args.vcs = _default_vcs(args.algorithm)
+    net = _build_network(args)
+    ra = make(args.algorithm, net)
+    print(f"network: {net}")
+    if args.all_conditions:
+        print(dally_seitz(ra))
+        print(search_escape(ra))
+    verdict = verify(ra)
+    print(verdict_block(verdict))
+    return 0 if verdict.deadlock_free else 1
+
+
+def cmd_dot(args) -> int:
+    if args.vcs is None:
+        args.vcs = _default_vcs(args.algorithm)
+    net = _build_network(args)
+    ra = make(args.algorithm, net)
+    if args.graph == "cwg":
+        from .core import ChannelWaitingGraph
+
+        g = ChannelWaitingGraph(ra)
+    else:
+        from .deps import ChannelDependencyGraph
+
+        g = ChannelDependencyGraph(ra)
+    print(to_dot(g, title=f"{g.kind} of {ra.name} on {net.name}"))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from .sim import BernoulliTraffic, SimConfig, WormholeSimulator
+
+    if args.vcs is None:
+        args.vcs = _default_vcs(args.algorithm)
+    net = _build_network(args)
+    ra = make(args.algorithm, net)
+    sim = WormholeSimulator(
+        ra,
+        BernoulliTraffic(net, rate=args.rate, pattern=args.pattern,
+                         length=args.length, stop_at=args.cycles),
+        SimConfig(seed=args.seed),
+    )
+    sim.run(args.cycles)
+    if sim.deadlock is not None:
+        print(sim.deadlock.describe())
+        return 2
+    sim.drain()
+    s = sim.stats.summary(cycles=sim.cycle, num_nodes=net.num_nodes,
+                          warmup=args.cycles // 5)
+    print(f"{ra.name} on {net.name} @ rate {args.rate} ({args.pattern}): {s.row()}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--algorithm", required=True, choices=sorted(CATALOG))
+        p.add_argument("--topology", default=None,
+                       choices=["mesh", "torus", "hypercube", "figure1", "figure4"])
+        p.add_argument("--dims", default=None, help="comma-separated, e.g. 4,4 (hypercube: one number)")
+        p.add_argument("--vcs", type=int, default=None, help="virtual channels per link")
+
+    sub.add_parser("catalog", help="list routing algorithms")
+
+    pv = sub.add_parser("verify", help="run the deadlock-freedom verifiers")
+    common(pv)
+    pv.add_argument("--all-conditions", action="store_true",
+                    help="also run Dally-Seitz and Duato's condition")
+
+    pd = sub.add_parser("dot", help="emit a channel graph as Graphviz DOT")
+    common(pd)
+    pd.add_argument("--graph", default="cwg", choices=["cwg", "cdg"])
+
+    ps = sub.add_parser("simulate", help="run the wormhole simulator")
+    common(ps)
+    ps.add_argument("--rate", type=float, default=0.2)
+    ps.add_argument("--pattern", default="uniform")
+    ps.add_argument("--length", type=int, default=8)
+    ps.add_argument("--cycles", type=int, default=3000)
+    ps.add_argument("--seed", type=int, default=1)
+
+    args = parser.parse_args(argv)
+    if args.command != "catalog" and args.topology is None:
+        args.topology = CATALOG[args.algorithm].topology
+    return {
+        "catalog": cmd_catalog,
+        "verify": cmd_verify,
+        "dot": cmd_dot,
+        "simulate": cmd_simulate,
+    }[args.command](args)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `python -m repro dot | head`
+        sys.exit(0)

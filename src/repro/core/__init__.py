@@ -1,0 +1,37 @@
+"""The paper's primary contribution, mechanized.
+
+* :mod:`~repro.core.transitions` -- per-destination routing-state graphs,
+  the substrate all graph constructions share;
+* :mod:`~repro.core.cwg` -- the channel waiting graph (Definition 9) and
+  wait-connectivity (Definition 10);
+* :mod:`~repro.core.cycles` -- simple-cycle enumeration;
+* :mod:`~repro.core.false_cycles` -- the Section 7.2 True vs. False
+  Resource Cycle classifier;
+* :mod:`~repro.core.reduction` -- the Section 8 CWG -> CWG' methodology.
+"""
+
+from .cwg import ChannelWaitingGraph, wait_connected
+from .cycles import Cycle, CycleExplosion, find_cycles, find_one_cycle, has_cycle, iter_simple_cycles
+from .false_cycles import Classification, CycleClass, CycleClassifier, Segment
+from .reduction import CWGReducer, ReductionResult, ReductionStep
+from .transitions import DestinationTransitions, TransitionCache
+
+__all__ = [
+    "CWGReducer",
+    "ChannelWaitingGraph",
+    "Classification",
+    "Cycle",
+    "CycleClass",
+    "CycleClassifier",
+    "CycleExplosion",
+    "DestinationTransitions",
+    "ReductionResult",
+    "ReductionStep",
+    "Segment",
+    "TransitionCache",
+    "find_cycles",
+    "find_one_cycle",
+    "has_cycle",
+    "iter_simple_cycles",
+    "wait_connected",
+]

@@ -1,0 +1,114 @@
+"""The channel waiting graph (Definition 9) -- the paper's central object.
+
+The CWG has a vertex per (virtual) channel and an arc ``(c1, c2)`` whenever
+some message, on some permitted path, can *occupy* ``c1`` while *waiting on*
+``c2``.  Because message lengths are arbitrary (Assumption 1 / the note
+under Definition 9), "occupy while waiting" means ``c2`` is a waiting
+channel at *any* routing state reachable after acquiring ``c1`` -- not just
+the immediately next hop.  The CWG is a subgraph of the channel dependency
+graph restricted to dependencies that can actually stall a message, which
+is why requiring it to be (True-Cycle-)acyclic is strictly weaker than every
+acyclic-CDG condition.
+
+:class:`ChannelWaitingGraph` stores, for each edge, the set of destinations
+that realize it; the False-Resource-Cycle classifier re-derives concrete
+witness paths from those destinations on demand.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import networkx as nx
+
+from ..routing.relation import RoutingAlgorithm
+from ..topology.channel import Channel
+from .transitions import TransitionCache
+
+
+class ChannelWaitingGraph:
+    """The CWG of a routing algorithm, with per-edge destination witnesses."""
+
+    kind = "CWG"
+
+    def __init__(self, algorithm: RoutingAlgorithm, *, transitions: TransitionCache | None = None) -> None:
+        self.algorithm = algorithm
+        self.transitions = transitions or TransitionCache(algorithm)
+        #: edge -> destinations whose traffic realizes it
+        self.edge_dests: dict[tuple[Channel, Channel], set[int]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        for dt in self.transitions.all_destinations():
+            down = dt.downstream_wait
+            for c1 in dt.usable:
+                for c2 in down[c1]:
+                    self.edge_dests.setdefault((c1, c2), set()).add(dt.dest)
+
+    # ------------------------------------------------------------------
+    @property
+    def vertices(self) -> list[Channel]:
+        """All link channels of the network (including unused ones)."""
+        return self.algorithm.network.link_channels
+
+    @property
+    def edges(self) -> list[tuple[Channel, Channel]]:
+        return list(self.edge_dests)
+
+    def graph(self, *, removed: Iterable[tuple[Channel, Channel]] = ()) -> nx.DiGraph:
+        """networkx view of the CWG, optionally with ``removed`` edges deleted."""
+        g = nx.DiGraph()
+        g.add_nodes_from(self.vertices)
+        skip = set(removed)
+        for e in self.edge_dests:
+            if e not in skip:
+                g.add_edge(*e)
+        return g
+
+    def is_acyclic(self) -> bool:
+        return nx.is_directed_acyclic_graph(self.graph())
+
+    def destinations_for(self, edge: tuple[Channel, Channel]) -> frozenset[int]:
+        return frozenset(self.edge_dests.get(edge, ()))
+
+    def __contains__(self, edge: tuple[Channel, Channel]) -> bool:
+        return edge in self.edge_dests
+
+    def __len__(self) -> int:
+        return len(self.edge_dests)
+
+    def __repr__(self) -> str:
+        return (
+            f"<{self.kind} of {self.algorithm.name}: "
+            f"{len(self.vertices)} channels, {len(self.edge_dests)} edges>"
+        )
+
+
+def wait_connected(algorithm: RoutingAlgorithm, *, transitions: TransitionCache | None = None):
+    """Definition 10: every reachable routing state has a waiting channel.
+
+    Returns ``(holds, counterexample_description)``.  A state is a pair
+    (input channel, node=channel head) reached by some message; at every
+    state short of the destination, the waiting set must be a nonempty
+    subset of the route set.
+    """
+    cache = transitions or TransitionCache(algorithm)
+    for dt in cache.all_destinations():
+        for c, out in dt.succ.items():
+            if c.dst == dt.dest:
+                continue
+            w = dt.wait[c]
+            if not w:
+                return False, (
+                    f"state (input={c!r}, node={c.dst}, dest={dt.dest}) has no waiting channel"
+                )
+            if not w <= out:
+                return False, (
+                    f"waiting set at (input={c!r}, node={c.dst}, dest={dt.dest}) "
+                    f"is not a subset of the route set"
+                )
+            if not out:
+                return False, (
+                    f"state (input={c!r}, node={c.dst}, dest={dt.dest}) has no output channel"
+                )
+    return True, ""

@@ -1,0 +1,89 @@
+"""Cycle enumeration over channel graphs.
+
+Section 8's reduction needs the explicit list ``L`` of all simple cycles of
+the CWG, and the False-Resource-Cycle test of Section 7.2 operates on one
+cycle at a time.  Cycles are represented as :class:`Cycle` -- an immutable,
+canonically rotated tuple of channels -- so they can live in sets and the
+reduction's bookkeeping (the paper's ``E_C`` / ``E_R`` / ``E_T`` sets) stays
+readable.
+
+Enumeration uses Johnson's algorithm via :func:`networkx.simple_cycles`
+(which includes length-1 self-loops: a message waiting on a channel it
+occupies itself is the ``N = 1`` deadlock of Definition 12).  A ``limit``
+guards against the worst-case exponential cycle count the paper warns about.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..topology.channel import Channel
+
+
+class CycleExplosion(RuntimeError):
+    """Raised when a graph has more simple cycles than the configured limit."""
+
+
+@dataclass(frozen=True)
+class Cycle:
+    """A simple directed cycle of channels, canonically rotated.
+
+    ``channels[i] -> channels[(i+1) % len]`` are the cycle's edges; the
+    rotation starts at the minimum cid so equal cycles compare equal.
+    """
+
+    channels: tuple[Channel, ...]
+
+    @staticmethod
+    def from_nodes(nodes: Iterable[Channel]) -> "Cycle":
+        seq = tuple(nodes)
+        if not seq:
+            raise ValueError("empty cycle")
+        k = min(range(len(seq)), key=lambda i: seq[i].cid)
+        return Cycle(seq[k:] + seq[:k])
+
+    @property
+    def edges(self) -> tuple[tuple[Channel, Channel], ...]:
+        n = len(self.channels)
+        return tuple((self.channels[i], self.channels[(i + 1) % n]) for i in range(n))
+
+    def __len__(self) -> int:
+        return len(self.channels)
+
+    def __repr__(self) -> str:
+        names = " -> ".join(c.label or f"c{c.cid}" for c in self.channels)
+        return f"<Cycle {names} -> ...>"
+
+
+def iter_simple_cycles(graph: nx.DiGraph, *, limit: int | None = 100_000) -> Iterator[Cycle]:
+    """Yield every simple cycle of ``graph`` as a canonical :class:`Cycle`."""
+    count = 0
+    for nodes in nx.simple_cycles(graph):
+        yield Cycle.from_nodes(nodes)
+        count += 1
+        if limit is not None and count > limit:
+            raise CycleExplosion(f"more than {limit} simple cycles; raise the limit explicitly")
+
+
+def find_cycles(graph: nx.DiGraph, *, limit: int | None = 100_000) -> list[Cycle]:
+    """All simple cycles, sorted shortest-first then by channel ids."""
+    cycles = list(iter_simple_cycles(graph, limit=limit))
+    cycles.sort(key=lambda cy: (len(cy), tuple(c.cid for c in cy.channels)))
+    return cycles
+
+
+def has_cycle(graph: nx.DiGraph) -> bool:
+    """Fast acyclicity test (no enumeration)."""
+    return not nx.is_directed_acyclic_graph(graph)
+
+
+def find_one_cycle(graph: nx.DiGraph) -> Cycle | None:
+    """A single witness cycle, or ``None`` if the graph is acyclic."""
+    try:
+        edges = nx.find_cycle(graph)
+    except nx.NetworkXNoCycle:
+        return None
+    return Cycle.from_nodes(e[0] for e in edges)

@@ -1,0 +1,257 @@
+"""Direct search for True Cycles, without enumerating all simple cycles.
+
+The number of simple cycles in a CWG can be astronomically larger than the
+number of *True* cycles (the Figure-4 ring has hundreds of thousands of
+simple cycles, none of them true), so Theorem 2's question -- "does any True
+Cycle exist?" -- is answered here by searching directly over *witness
+segments* instead of over cycles:
+
+* a **segment** from channel ``a`` is a permitted channel path
+  ``a = p_0 -> ... -> p_m`` (for some destination) together with a waiting
+  channel ``b`` at its final state: one message of a deadlock configuration,
+  holding exactly the path and waiting on ``b``;
+* a **True Cycle** is a sequence of segments ``s_0 .. s_{k-1}`` with
+  ``waited(s_i) = head(s_{i+1 mod k})`` whose held channel sets are pairwise
+  disjoint (Section 7.2's channel-disjointness requirement, with the
+  segment-head normalization: any deadlock configuration can be shrunk so
+  each message holds exactly the channels from the waited channel onward).
+
+The DFS explores segments shortest-first, canonicalizes cycles by their
+minimum head cid, and prunes on channel disjointness -- which is what makes
+the ring feasible: every lap-closing segment chain needs the shared ``cA``
+channel twice and dies immediately.
+
+Pre-cycle reachability (phase 2 of Section 7.2) is applied to each candidate
+before it is reported TRUE; candidates failing it are collected as
+UNDETERMINED, mirroring :class:`repro.core.false_cycles.CycleClassifier`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..topology.channel import Channel
+from .cwg import ChannelWaitingGraph
+from .cycles import Cycle
+from .false_cycles import Classification, CycleClass, CycleClassifier, Segment
+
+
+@dataclass
+class SearchOutcome:
+    """Result of the direct True-Cycle search."""
+
+    #: a True Cycle witness, if one was found
+    true_cycle: Classification | None = None
+    #: candidates whose pre-cycle reachability could not be resolved
+    undetermined: list[Classification] = field(default_factory=list)
+    #: search was exhaustive (no cap hit); a None true_cycle is then a proof
+    exhaustive: bool = True
+    nodes_explored: int = 0
+
+    @property
+    def proves_no_true_cycle(self) -> bool:
+        return self.true_cycle is None and not self.undetermined and self.exhaustive
+
+
+class TrueCycleSearch:
+    """Depth-first search for a True Cycle over witness segments.
+
+    Parameters
+    ----------
+    max_nodes:
+        Cap on DFS nodes; exceeded => ``exhaustive=False`` in the outcome
+        (verifiers then refuse to certify).
+    max_segment_len:
+        Longest segment explored (default: all -- segments are simple
+        channel paths, bounded by the channel count).
+    """
+
+    def __init__(
+        self,
+        cwg: ChannelWaitingGraph,
+        *,
+        max_nodes: int = 2_000_000,
+        max_segment_len: int | None = None,
+        single_wait_only: bool = False,
+    ) -> None:
+        """``single_wait_only``: only accept witness segments whose final
+        routing state has exactly one waiting channel.  A True Cycle built
+        from such segments deadlocks even under wait-on-ANY semantics (each
+        blocked message's *entire* waiting set is held), and no CWG'
+        reduction can remove its edges -- the sound fast path Theorem 3's
+        necessity check uses before attempting the full Section 8 search."""
+        self.cwg = cwg
+        self.single_wait_only = single_wait_only
+        self.classifier = CycleClassifier(cwg, max_segment_len=max_segment_len or 10**9)
+        n_link = len(cwg.algorithm.network.link_channels)
+        self.max_segment_len = max_segment_len if max_segment_len is not None else n_link
+        self.max_nodes = max_nodes
+        self._segments: dict[Channel, list[Segment]] = {}
+        #: alternative destinations per (path, waited) for phase-2 retries
+        self._alt_dests: dict[tuple[tuple[Channel, ...], Channel], list[int]] = {}
+        # Channels that appear as CWG edge targets: only these can be waited
+        # on, hence only these can head a segment in a cycle.
+        self._waitable: set[Channel] = {b for (_, b) in cwg.edges}
+        self._succ_waits: dict[Channel, frozenset[Channel]] = {}
+        for (a, b) in cwg.edges:
+            self._succ_waits.setdefault(a, set()).add(b)  # type: ignore[arg-type]
+        self._succ_waits = {k: frozenset(v) for k, v in self._succ_waits.items()}
+
+    # ------------------------------------------------------------------
+    def segments_from(self, head: Channel) -> list[Segment]:
+        """Witness segments starting at ``head``, pruned and shortest-first.
+
+        Two sound reductions keep the list small (memoized per head):
+
+        * segments with identical ``(path, waits_on)`` for different
+          destinations are merged (alternative destinations are retained in
+          :attr:`_alt_dests` for the phase-2 startability check);
+        * a segment whose held set is a strict superset of another segment
+          with the same waited channel is dominated and dropped -- swapping
+          in the smaller segment preserves disjointness, and a phase-2
+          failure only ever downgrades TRUE to UNDETERMINED, which verifiers
+          already refuse to certify.
+        """
+        cached = self._segments.get(head)
+        if cached is not None:
+            return cached
+        raw: dict[tuple[tuple[Channel, ...], Channel], set[int]] = {}
+        for dest in self.cwg.algorithm.network.nodes:
+            dt = self.cwg.transitions[dest]
+            if head not in dt.usable:
+                continue
+            path = [head]
+            on_path = {head}
+
+            def dfs(c: Channel) -> None:
+                waits = dt.wait.get(c, ())
+                if not self.single_wait_only or len(waits) == 1:
+                    for b in waits:
+                        if b in self._waitable:
+                            raw.setdefault((tuple(path), b), set()).add(dest)
+                if len(path) >= self.max_segment_len:
+                    return
+                for nxt in sorted(dt.succ.get(c, ()), key=lambda ch: ch.cid):
+                    if nxt in on_path:
+                        continue
+                    path.append(nxt)
+                    on_path.add(nxt)
+                    dfs(nxt)
+                    path.pop()
+                    on_path.discard(nxt)
+
+            dfs(head)
+        # Domination filter per waited channel: keep held-set-minimal segments.
+        by_wait: dict[Channel, list[tuple[tuple[Channel, ...], frozenset[Channel], set[int]]]] = {}
+        for (path_t, b), dests in raw.items():
+            by_wait.setdefault(b, []).append((path_t, frozenset(path_t), dests))
+        out: list[Segment] = []
+        for b, group in by_wait.items():
+            group.sort(key=lambda t: len(t[1]))
+            kept: list[tuple[tuple[Channel, ...], frozenset[Channel], set[int]]] = []
+            for path_t, held, dests in group:
+                if any(k_held <= held for _, k_held, _ in kept):
+                    continue
+                kept.append((path_t, held, dests))
+            for path_t, held, dests in kept:
+                seg = Segment(min(dests), path_t, b)
+                self._alt_dests[(path_t, b)] = sorted(dests)
+                out.append(seg)
+        out.sort(key=lambda s: (len(s.path), s.waits_on.cid, s.dest))
+        self._segments[head] = out
+        return out
+
+    # ------------------------------------------------------------------
+    def search(self) -> SearchOutcome:
+        """Find a True Cycle or prove none exists."""
+        outcome = SearchOutcome()
+        heads = sorted(self._waitable, key=lambda c: c.cid)
+        budget = self.max_nodes
+
+        for start in heads:
+            chain: list[Segment] = []
+            reach = self._can_reach(start)
+
+            def dfs(head: Channel, used: frozenset[Channel]) -> bool:
+                nonlocal budget
+                budget -= 1
+                if budget <= 0:
+                    outcome.exhaustive = False
+                    return False
+                for seg in self.segments_from(head):
+                    # canonical form: no head below the start channel
+                    if seg.waits_on.cid < start.cid:
+                        continue
+                    if used & seg.held:
+                        continue  # violates pairwise channel-disjointness
+                    if seg.waits_on == start:
+                        chain.append(seg)
+                        if self._accept(chain, outcome):
+                            return True
+                        chain.pop()
+                        continue
+                    if seg.waits_on not in reach:
+                        continue  # cannot lead back to the start channel
+                    chain.append(seg)
+                    if dfs(seg.waits_on, used | seg.held):
+                        return True
+                    chain.pop()
+                return False
+
+            if dfs(start, frozenset()):
+                break
+            if not outcome.exhaustive:
+                break
+        outcome.nodes_explored = self.max_nodes - budget
+        return outcome
+
+    def _can_reach(self, start: Channel) -> frozenset[Channel]:
+        """Channels with a CWG path back to ``start`` through cids >= start's.
+
+        Any cycle canonicalized at ``start`` visits only such channels, so
+        the DFS prunes every segment waiting outside this set.
+        """
+        rev: dict[Channel, list[Channel]] = {}
+        for (a, b) in self.cwg.edges:
+            if a.cid >= start.cid and b.cid >= start.cid:
+                rev.setdefault(b, []).append(a)
+        seen: set[Channel] = set()
+        stack = [start]
+        while stack:
+            c = stack.pop()
+            for p in rev.get(c, ()):
+                if p not in seen:
+                    seen.add(p)
+                    stack.append(p)
+        return frozenset(seen)
+
+    def _accept(self, chain: list[Segment], outcome: SearchOutcome) -> bool:
+        """Phase-2 check a closed chain; record it appropriately.
+
+        Each segment may carry alternative destinations (merged during
+        enumeration); startability is granted if *any* of them passes.
+        """
+        cycle = Cycle.from_nodes([s.path[0] for s in chain])
+        witness: list[Segment] = []
+        all_held = frozenset().union(*(s.held for s in chain))
+        for seg in chain:
+            others = all_held - seg.held
+            chosen: Segment | None = None
+            for dest in self._alt_dests.get((seg.path, seg.waits_on), [seg.dest]):
+                cand = Segment(dest, seg.path, seg.waits_on)
+                if self.classifier._startable_at_source(cand) or \
+                        self.classifier._prepath_avoiding(cand, others):
+                    chosen = cand
+                    break
+            if chosen is None:
+                outcome.undetermined.append(Classification(
+                    cycle, CycleClass.UNDETERMINED, witness=list(chain),
+                    reason=(
+                        f"segment at {seg.path[0]!r} reachable only through "
+                        "channels held by other messages (all destinations tried)"
+                    ),
+                ))
+                return False
+            witness.append(chosen)
+        outcome.true_cycle = Classification(cycle, CycleClass.TRUE, witness=witness)
+        return True

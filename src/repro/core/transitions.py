@@ -1,0 +1,167 @@
+"""Per-destination routing-state transition graphs.
+
+Everything the paper's graph theory needs -- channel dependency graphs,
+channel waiting graphs, wait-connectivity, reachability of configurations --
+reduces to questions about the *routing-state graph* for a fixed
+destination ``d``: states are "the message's most recently acquired channel
+is ``c``" (so the message sits at node ``c.dst``), the start states are the
+injection channels, and the transitions are exactly the routing relation
+``R(c, c.dst, d)``.
+
+:class:`DestinationTransitions` materializes that graph once per destination
+and precomputes the derived sets the rest of :mod:`repro.core` consumes:
+
+* ``usable`` -- link channels reachable from any injection channel, i.e.
+  channels some message headed to ``d`` can actually occupy;
+* ``wait[c]`` -- the waiting channels at state ``c`` (Definition 8);
+* ``downstream_wait[c]`` -- the union of ``wait`` over every state reachable
+  from ``c`` *including itself*: by Definition 9 (arbitrary message lengths),
+  these are precisely the channels some message occupying ``c`` may end up
+  waiting on, i.e. the CWG out-neighbourhood contributed by destination ``d``;
+* ``upstream[c]`` -- channels from which state ``c`` is reachable: channels a
+  message *blocked at* ``c`` might still hold, which is what the CWG'
+  reduction's wait-connectivity test needs.
+
+Reachable-set computation runs on the SCC condensation so cyclic
+(nonminimal) relations cost the same as acyclic ones.
+"""
+
+from __future__ import annotations
+
+
+
+import networkx as nx
+
+from ..routing.relation import RoutingAlgorithm
+from ..topology.channel import Channel
+
+
+class DestinationTransitions:
+    """Routing-state graph of ``algorithm`` for one fixed destination."""
+
+    def __init__(self, algorithm: RoutingAlgorithm, dest: int) -> None:
+        self.algorithm = algorithm
+        self.dest = dest
+        net = algorithm.network
+        self.succ: dict[Channel, frozenset[Channel]] = {}
+        self.wait: dict[Channel, frozenset[Channel]] = {}
+        #: injection channels that start a journey to ``dest``
+        self.starts: list[Channel] = [
+            net.injection_channel(n) for n in net.nodes if n != dest
+        ]
+        # Forward BFS from the injection channels over the routing relation.
+        frontier: list[Channel] = list(self.starts)
+        seen: set[Channel] = set(frontier)
+        while frontier:
+            nxt: list[Channel] = []
+            for c in frontier:
+                node = c.dst
+                if node == dest:
+                    self.succ[c] = frozenset()
+                    self.wait[c] = frozenset()
+                    continue
+                out = algorithm.route(c, node, dest)
+                self.succ[c] = out
+                self.wait[c] = algorithm.waiting_channels(c, node, dest)
+                for o in out:
+                    if o not in seen:
+                        seen.add(o)
+                        nxt.append(o)
+            frontier = nxt
+        #: link channels a message headed to ``dest`` can occupy
+        self.usable: frozenset[Channel] = frozenset(c for c in self.succ if c.is_link)
+        self._downstream_wait: dict[Channel, frozenset[Channel]] | None = None
+        self._upstream: dict[Channel, frozenset[Channel]] | None = None
+
+    # ------------------------------------------------------------------
+    def _graph(self) -> nx.DiGraph:
+        g = nx.DiGraph()
+        g.add_nodes_from(self.succ)
+        for c, outs in self.succ.items():
+            for o in outs:
+                g.add_edge(c, o)
+        return g
+
+    @property
+    def downstream_wait(self) -> dict[Channel, frozenset[Channel]]:
+        """CWG out-neighbourhoods: waiting sets over all reachable states."""
+        if self._downstream_wait is None:
+            self._downstream_wait = self._propagate(forward=True)
+        return self._downstream_wait
+
+    @property
+    def upstream(self) -> dict[Channel, frozenset[Channel]]:
+        """For each state ``c``: link channels a message at ``c`` may hold.
+
+        The reflexive-transitive predecessors of ``c`` in the state graph,
+        restricted to link channels (a held injection channel can never be
+        another message's waiting channel).
+        """
+        if self._upstream is None:
+            self._upstream = self._propagate(forward=False)
+        return self._upstream
+
+    def _propagate(self, *, forward: bool) -> dict[Channel, frozenset[Channel]]:
+        """Reflexive-transitive closure aggregation over the SCC condensation.
+
+        forward=True accumulates waiting sets downstream; forward=False
+        accumulates held link channels upstream.
+        """
+        g = self._graph()
+        if not forward:
+            g = g.reverse(copy=False)
+        cond = nx.condensation(g)
+        order = list(nx.topological_sort(cond))
+        comp_val: dict[int, frozenset[Channel]] = {}
+        for comp in reversed(order):
+            members = cond.nodes[comp]["members"]
+            if forward:
+                acc: set[Channel] = set()
+                for m in members:
+                    acc |= self.wait[m]
+            else:
+                acc = {m for m in members if m.is_link}
+            for succ_comp in cond.successors(comp):
+                acc |= comp_val[succ_comp]
+            comp_val[comp] = frozenset(acc)
+        out: dict[Channel, frozenset[Channel]] = {}
+        mapping = cond.graph["mapping"]
+        for c in self.succ:
+            out[c] = comp_val[mapping[c]]
+        if not forward:
+            # "May hold while at c" for the *reverse* graph accumulates
+            # predecessors of c; but a message at state c holds c itself too
+            # (already included since the closure is reflexive over members).
+            pass
+        return out
+
+    def reachable_from(self, start: Channel) -> frozenset[Channel]:
+        """States reachable from ``start`` (inclusive)."""
+        seen = {start}
+        stack = [start]
+        while stack:
+            c = stack.pop()
+            for o in self.succ.get(c, ()):
+                if o not in seen:
+                    seen.add(o)
+                    stack.append(o)
+        return frozenset(seen)
+
+
+class TransitionCache:
+    """Lazily builds and caches :class:`DestinationTransitions` per destination."""
+
+    def __init__(self, algorithm: RoutingAlgorithm) -> None:
+        self.algorithm = algorithm
+        self._cache: dict[int, DestinationTransitions] = {}
+
+    def __getitem__(self, dest: int) -> DestinationTransitions:
+        dt = self._cache.get(dest)
+        if dt is None:
+            dt = self._cache[dest] = DestinationTransitions(self.algorithm, dest)
+        return dt
+
+    def all_destinations(self):
+        """Iterate transitions for every node as destination."""
+        for dest in self.algorithm.network.nodes:
+            yield self[dest]

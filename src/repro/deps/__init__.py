@@ -1,0 +1,23 @@
+"""Channel-dependency substrates: the classic CDG and Duato's extended CDG.
+
+These implement the *prior* theory the paper builds on and compares against:
+Dally & Seitz's channel dependency graph (acyclic <=> deadlock-free for
+nonadaptive routing) and Duato's routing-subfunction / extended-dependency
+machinery (the titled ICPP'94 necessary-and-sufficient condition).
+"""
+
+from .cdg import ChannelDependencyGraph
+from .ecdg import (
+    DependencyType,
+    EscapeSpec,
+    ExtendedChannelDependencyGraph,
+    escape_by_vc,
+)
+
+__all__ = [
+    "ChannelDependencyGraph",
+    "DependencyType",
+    "EscapeSpec",
+    "ExtendedChannelDependencyGraph",
+    "escape_by_vc",
+]

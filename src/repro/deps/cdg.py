@@ -1,0 +1,85 @@
+"""The channel dependency graph (Dally & Seitz 1987).
+
+Vertices are virtual channels; there is an arc from ``c1`` to ``c2`` when a
+message is permitted to use ``c2`` *immediately after* ``c1``.  An acyclic
+CDG is necessary and sufficient for deadlock freedom of nonadaptive routing
+and sufficient (but too strong) for adaptive routing -- the baseline every
+other condition in this repository is measured against.
+
+Only dependencies that some message can actually exercise are included: the
+input channel must be reachable from an injection channel for the relevant
+destination (otherwise the "dependency" involves a state no message is ever
+in).  Per-edge destination witnesses are recorded, mirroring
+:class:`repro.core.cwg.ChannelWaitingGraph`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import networkx as nx
+
+from ..core.transitions import TransitionCache
+from ..routing.relation import RoutingAlgorithm
+from ..topology.channel import Channel
+
+
+class ChannelDependencyGraph:
+    """The CDG of a routing algorithm, with per-edge destination witnesses."""
+
+    kind = "CDG"
+
+    def __init__(self, algorithm: RoutingAlgorithm, *, transitions: TransitionCache | None = None) -> None:
+        self.algorithm = algorithm
+        self.transitions = transitions or TransitionCache(algorithm)
+        self.edge_dests: dict[tuple[Channel, Channel], set[int]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        for dt in self.transitions.all_destinations():
+            for c1 in dt.usable:
+                for c2 in dt.succ[c1]:
+                    self.edge_dests.setdefault((c1, c2), set()).add(dt.dest)
+
+    @property
+    def vertices(self) -> list[Channel]:
+        return self.algorithm.network.link_channels
+
+    @property
+    def edges(self) -> list[tuple[Channel, Channel]]:
+        return list(self.edge_dests)
+
+    def graph(self, *, removed: Iterable[tuple[Channel, Channel]] = ()) -> nx.DiGraph:
+        g = nx.DiGraph()
+        g.add_nodes_from(self.vertices)
+        skip = set(removed)
+        for e in self.edge_dests:
+            if e not in skip:
+                g.add_edge(*e)
+        return g
+
+    def is_acyclic(self) -> bool:
+        return nx.is_directed_acyclic_graph(self.graph())
+
+    def numbering(self) -> dict[Channel, int] | None:
+        """A strictly increasing channel numbering if the CDG is acyclic.
+
+        Dally & Seitz prove deadlock freedom by exhibiting such a numbering;
+        returns ``None`` when the CDG is cyclic.
+        """
+        g = self.graph()
+        if not nx.is_directed_acyclic_graph(g):
+            return None
+        return {c: i for i, c in enumerate(nx.topological_sort(g))}
+
+    def destinations_for(self, edge: tuple[Channel, Channel]) -> frozenset[int]:
+        return frozenset(self.edge_dests.get(edge, ()))
+
+    def __len__(self) -> int:
+        return len(self.edge_dests)
+
+    def __repr__(self) -> str:
+        return (
+            f"<{self.kind} of {self.algorithm.name}: "
+            f"{len(self.vertices)} channels, {len(self.edge_dests)} edges>"
+        )

@@ -1,0 +1,186 @@
+"""Duato's extended channel dependency graph (the titled ICPP'94 theory).
+
+Duato's condition works on a *routing subfunction* ``R1``: a subset ``C1``
+of the channels (the "escape" channels) such that ``R1(n, d) = R(n, d) &
+C1`` still connects every source to every destination.  The **extended**
+channel dependency graph of ``R1`` contains, between escape channels:
+
+* **direct** dependencies -- ``c_j in R1`` immediately after ``c_i``;
+* **indirect** dependencies -- ``c_i ... c_j`` where the intermediate
+  channels are supplied by the full relation ``R`` but lie outside ``C1``
+  (the message re-enters the escape layer after an adaptive excursion);
+* **cross** dependencies (direct and indirect) -- when ``C1`` differs per
+  destination, a dependency from a channel that is escape *for some other
+  destination* onto a channel escape for the message's own destination.
+
+Duato's theorem: a coherent ``R`` (of form ``R(n, d)``, providing a minimal
+path per pair) is deadlock-free **iff** some connected ``R1`` exists whose
+extended dependency graph, including cross dependencies, is acyclic.
+
+``escape`` may be a single channel set (the common case -- cross
+dependencies then coincide with ordinary ones) or a mapping from destination
+to channel set (the per-pair generality of the ICPP'94 paper, restricted to
+destination-indexed subsets, which is what an ``R(n, d)`` relation can
+express).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable, Iterable
+
+import networkx as nx
+
+from ..core.transitions import TransitionCache
+from ..routing.relation import RoutingAlgorithm
+from ..topology.channel import Channel
+
+EscapeSpec = frozenset[Channel] | Callable[[int], frozenset[Channel]]
+
+
+class DependencyType(enum.Enum):
+    DIRECT = "direct"
+    INDIRECT = "indirect"
+    DIRECT_CROSS = "direct-cross"
+    INDIRECT_CROSS = "indirect-cross"
+
+
+class ExtendedChannelDependencyGraph:
+    """The ECDG of a routing subfunction, with per-edge dependency types."""
+
+    kind = "ECDG"
+
+    def __init__(
+        self,
+        algorithm: RoutingAlgorithm,
+        escape: EscapeSpec,
+        *,
+        transitions: TransitionCache | None = None,
+    ) -> None:
+        self.algorithm = algorithm
+        self.transitions = transitions or TransitionCache(algorithm)
+        if callable(escape):
+            self._escape_fn = escape
+        else:
+            fixed = frozenset(escape)
+            self._escape_fn = lambda dest: fixed
+        #: edge -> set of dependency types realizing it
+        self.edge_types: dict[tuple[Channel, Channel], set[DependencyType]] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    def escape_for(self, dest: int) -> frozenset[Channel]:
+        return self._escape_fn(dest)
+
+    def escape_union(self) -> frozenset[Channel]:
+        out: set[Channel] = set()
+        for dest in self.algorithm.network.nodes:
+            out |= self.escape_for(dest)
+        return frozenset(out)
+
+    def _build(self) -> None:
+        union = self.escape_union()
+        for dt in self.transitions.all_destinations():
+            c1_here = self.escape_for(dt.dest)
+            for ci in dt.usable:
+                if ci not in union:
+                    continue
+                ci_is_own = ci in c1_here
+                # Direct: an R1-supplied channel immediately after ci.
+                for cj in dt.succ[ci]:
+                    if cj in c1_here:
+                        kind = DependencyType.DIRECT if ci_is_own else DependencyType.DIRECT_CROSS
+                        self.edge_types.setdefault((ci, cj), set()).add(kind)
+                # Indirect: through >= 1 non-escape channels, then R1-supplied.
+                seen: set[Channel] = set()
+                stack = [c for c in dt.succ[ci] if c not in c1_here]
+                while stack:
+                    q = stack.pop()
+                    if q in seen:
+                        continue
+                    seen.add(q)
+                    for cj in dt.succ.get(q, ()):
+                        if cj in c1_here:
+                            kind = (
+                                DependencyType.INDIRECT if ci_is_own
+                                else DependencyType.INDIRECT_CROSS
+                            )
+                            self.edge_types.setdefault((ci, cj), set()).add(kind)
+                        elif cj not in seen:
+                            stack.append(cj)
+
+    # ------------------------------------------------------------------
+    @property
+    def edges(self) -> list[tuple[Channel, Channel]]:
+        return list(self.edge_types)
+
+    def graph(self, *, removed: Iterable[tuple[Channel, Channel]] = ()) -> nx.DiGraph:
+        g = nx.DiGraph()
+        g.add_nodes_from(self.escape_union())
+        skip = set(removed)
+        for e in self.edge_types:
+            if e not in skip:
+                g.add_edge(*e)
+        return g
+
+    def is_acyclic(self) -> bool:
+        return nx.is_directed_acyclic_graph(self.graph())
+
+    def subfunction_connected(self) -> tuple[bool, str]:
+        """Is ``R1`` connected: every pair routable using escape channels only?
+
+        Checked per destination by BFS from every injection channel through
+        escape-channel states (``R1(c, n, d) = R(c, n, d) & C1(d)``).
+        """
+        net = self.algorithm.network
+        for dt in self.transitions.all_destinations():
+            c1_here = self.escape_for(dt.dest)
+            sources = _r1_sources(dt, c1_here)
+            missing = [n for n in net.nodes if n != dt.dest and n not in sources]
+            if missing:
+                return False, (
+                    f"R1 does not connect source(s) {missing[:4]} to destination {dt.dest}"
+                )
+        return True, ""
+
+    def __len__(self) -> int:
+        return len(self.edge_types)
+
+    def __repr__(self) -> str:
+        return (
+            f"<{self.kind} of {self.algorithm.name}: "
+            f"{len(self.escape_union())} escape channels, {len(self.edge_types)} dependencies>"
+        )
+
+
+def _r1_sources(dt, c1_here: frozenset[Channel]) -> set[int]:
+    """Nodes from which ``dt.dest`` is reachable using only escape channels.
+
+    A source ``n`` qualifies iff from state ``inj(n)`` some path of
+    escape-only channel states ends at the destination.
+    """
+    sources: set[int] = set()
+    for inj in dt.starts:
+        stack = [inj]
+        seen = {inj}
+        found = False
+        while stack and not found:
+            c = stack.pop()
+            for nxt in dt.succ.get(c, ()):
+                if nxt not in c1_here:
+                    continue
+                if nxt.dst == dt.dest:
+                    found = True
+                    break
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        if found:
+            sources.add(inj.src)
+    return sources
+
+
+def escape_by_vc(algorithm: RoutingAlgorithm, vc_classes: Iterable[int] = (0,)) -> frozenset[Channel]:
+    """The standard escape set: all link channels in the given VC classes."""
+    classes = set(vc_classes)
+    return frozenset(c for c in algorithm.network.link_channels if c.vc in classes)

@@ -1,0 +1,35 @@
+"""Adaptiveness and path-diversity metrics (Figure 5 and friends)."""
+
+from .adaptiveness import (
+    average_degree,
+    duato_path_count,
+    duato_ratio,
+    ecube_ratio,
+    efa_path_count,
+    efa_ratio,
+    empirical_degree,
+    empirical_pair_ratio,
+    figure5_series,
+    total_virtual_paths,
+)
+from .paths import (
+    max_edge_disjoint_minimal_paths,
+    minimal_path_matrix,
+    physical_path_coverage,
+)
+
+__all__ = [
+    "average_degree",
+    "duato_path_count",
+    "duato_ratio",
+    "ecube_ratio",
+    "efa_path_count",
+    "efa_ratio",
+    "empirical_degree",
+    "empirical_pair_ratio",
+    "figure5_series",
+    "max_edge_disjoint_minimal_paths",
+    "minimal_path_matrix",
+    "physical_path_coverage",
+    "total_virtual_paths",
+]

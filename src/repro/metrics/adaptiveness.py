@@ -1,0 +1,151 @@
+"""Degree of adaptiveness (Glass & Ni), exactly -- the paper's Figure 5.
+
+The degree of adaptiveness of a routing algorithm is "the ratio of the
+number of paths permitted by the routing algorithm to the total number of
+paths, averaged over all source-destination pairs" (Section 9.3).  Paths are
+counted in the algorithm's own virtual network: a source-destination pair at
+Hamming distance ``k`` on a hypercube has ``k!`` minimal physical paths and
+``k! * V^k`` minimal virtual paths with ``V`` virtual channels per link.
+
+Exact per-distance path counts:
+
+* **e-cube** (1 VC): one permitted path, so the ratio at distance ``k`` is
+  ``1/k!`` -- "nonadaptive routing can use half the paths when the distance
+  between the source and destination is two hops".
+* **Duato's fully adaptive** (2 VCs): the first-class channel is usable only
+  in the lowest remaining dimension, the second class anywhere, giving the
+  recurrence ``f(j) = (j + 1) f(j - 1)``, i.e. ``f(k) = (k + 1)!`` permitted
+  virtual paths and ratio ``(k + 1)/2^k``.
+* **EFA** (2 VCs): the first class opens up entirely whenever the lowest
+  remaining dimension needs a *negative* hop, so the count depends on the
+  pattern of hop directions; :func:`efa_path_count` computes it by dynamic
+  programming over sign strings, and the per-distance ratio averages over
+  all ``2^k`` equally likely patterns.
+
+Every closed form is cross-checked in the test suite against brute-force
+enumeration of the actual routing relations on small cubes.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from math import comb, factorial
+
+from ..routing.paths import enumerate_paths
+from ..routing.relation import RoutingAlgorithm
+
+Sign = str  # '+' or '-'
+
+
+# ----------------------------------------------------------------------
+# exact per-distance counts
+# ----------------------------------------------------------------------
+def total_virtual_paths(k: int, vcs: int) -> int:
+    """Minimal virtual paths between hypercube nodes at distance ``k``."""
+    return factorial(k) * vcs**k
+
+
+def ecube_ratio(k: int) -> float:
+    """e-cube's degree of adaptiveness at distance ``k``: 1/k!."""
+    return 1.0 / factorial(k)
+
+
+def duato_path_count(k: int) -> int:
+    """Permitted virtual paths of Duato's fully adaptive algorithm: (k+1)!."""
+    return factorial(k + 1)
+
+
+def duato_ratio(k: int) -> float:
+    """(k+1)! / (k! 2^k) = (k+1)/2^k."""
+    return (k + 1) / 2.0**k
+
+
+@lru_cache(maxsize=None)
+def efa_path_count(signs: tuple[Sign, ...]) -> int:
+    """Permitted EFA virtual paths for a given direction pattern.
+
+    ``signs[i]`` is the hop direction of the i-th lowest dimension still to
+    correct ('-' = negative).  Recurrence over which dimension is corrected
+    next: the second VC of any needed dimension always counts (weight 1);
+    the first VC additionally counts (weight +1) iff the lowest remaining
+    dimension needs a negative hop, or the corrected dimension *is* the
+    lowest.
+    """
+    if not signs:
+        return 1
+    low_negative = signs[0] == "-"
+    total = 0
+    for i in range(len(signs)):
+        weight = 2 if (low_negative or i == 0) else 1
+        total += weight * efa_path_count(signs[:i] + signs[i + 1:])
+    return total
+
+
+def efa_ratio(k: int) -> float:
+    """EFA's degree of adaptiveness at distance ``k``, averaged over patterns."""
+    if k == 0:
+        return 1.0
+    total = 0
+    for bits in range(1 << k):
+        signs = tuple("-" if (bits >> i) & 1 else "+" for i in range(k))
+        total += efa_path_count(signs)
+    return total / (2**k * total_virtual_paths(k, 2))
+
+
+# ----------------------------------------------------------------------
+# Figure 5: average over all source-destination pairs of an n-cube
+# ----------------------------------------------------------------------
+def average_degree(n: int, ratio_at_distance) -> float:
+    """Average ``ratio_at_distance(k)`` over all ordered pairs of an n-cube."""
+    pairs = 2**n - 1  # per source; distances are source-independent
+    return sum(comb(n, k) * ratio_at_distance(k) for k in range(1, n + 1)) / pairs
+
+
+def figure5_series(max_dimension: int = 12) -> dict[str, list[float]]:
+    """The three Figure-5 curves for hypercube dimensions 1..max_dimension."""
+    dims = range(1, max_dimension + 1)
+    return {
+        "dimension": list(dims),
+        "e-cube": [average_degree(n, ecube_ratio) for n in dims],
+        "duato": [average_degree(n, duato_ratio) for n in dims],
+        "enhanced": [average_degree(n, efa_ratio) for n in dims],
+    }
+
+
+# ----------------------------------------------------------------------
+# brute-force cross-check on actual routing relations
+# ----------------------------------------------------------------------
+def empirical_pair_ratio(
+    algorithm: RoutingAlgorithm,
+    src: int,
+    dest: int,
+    total_paths: int,
+    distance: int,
+) -> float:
+    """Permitted minimal virtual paths / ``total_paths`` for one pair."""
+    permitted = sum(
+        1
+        for p in enumerate_paths(algorithm, src, dest, max_hops=distance)
+        if len(p) == distance
+    )
+    return permitted / total_paths
+
+
+def empirical_degree(algorithm: RoutingAlgorithm, *, vcs: int) -> float:
+    """Brute-force degree of adaptiveness over all pairs (small networks!).
+
+    ``vcs`` is the number of virtual channels the algorithm's own network
+    configuration provides per link (the denominator convention above).
+    """
+    net = algorithm.network
+    dist = net.shortest_distances()
+    acc = 0.0
+    pairs = 0
+    for s in net.nodes:
+        for d in net.nodes:
+            if s == d:
+                continue
+            k = dist[s][d]
+            acc += empirical_pair_ratio(algorithm, s, d, total_virtual_paths(k, vcs), k)
+            pairs += 1
+    return acc / pairs

@@ -1,0 +1,86 @@
+"""Path-diversity metrics beyond the degree of adaptiveness.
+
+Small helpers the benchmarks and examples use to characterize routing
+algorithms: permitted-path counts per pair, physical-path coverage, and
+edge-disjoint path counts (the property Li's hypercube algorithm optimizes,
+mentioned in Section 9.1).
+"""
+
+from __future__ import annotations
+
+from ..routing.paths import enumerate_paths, path_nodes
+from ..routing.relation import RoutingAlgorithm
+
+
+def minimal_path_matrix(algorithm: RoutingAlgorithm) -> dict[tuple[int, int], int]:
+    """Permitted minimal-path count for every ordered pair."""
+    net = algorithm.network
+    dist = net.shortest_distances()
+    out: dict[tuple[int, int], int] = {}
+    for s in net.nodes:
+        for d in net.nodes:
+            if s == d:
+                continue
+            k = dist[s][d]
+            out[(s, d)] = sum(
+                1 for p in enumerate_paths(algorithm, s, d, max_hops=k) if len(p) == k
+            )
+    return out
+
+
+def physical_path_coverage(algorithm: RoutingAlgorithm) -> float:
+    """Fraction of minimal *physical* paths permitted, averaged over pairs.
+
+    1.0 exactly for fully adaptive algorithms (Section 1's definition).
+    """
+    from ..routing.properties import _minimal_node_paths
+
+    net = algorithm.network
+    dist = net.shortest_distances()
+    acc = 0.0
+    pairs = 0
+    for s in net.nodes:
+        for d in net.nodes:
+            if s == d:
+                continue
+            k = dist[s][d]
+            permitted = {
+                tuple(path_nodes(p, s))
+                for p in enumerate_paths(algorithm, s, d, max_hops=k)
+                if len(p) == k
+            }
+            universe = _minimal_node_paths(net, s, d, k, dist)
+            acc += len(permitted) / len(universe)
+            pairs += 1
+    return acc / pairs
+
+
+def max_edge_disjoint_minimal_paths(algorithm: RoutingAlgorithm, src: int, dest: int) -> int:
+    """Largest set of pairwise physically edge-disjoint permitted minimal paths.
+
+    Greedy maximum-set search with backtracking (pairs on the small
+    verification networks only).
+    """
+    net = algorithm.network
+    dist = net.shortest_distances()
+    k = dist[src][dest]
+    paths = [
+        frozenset(c.endpoints for c in p)
+        for p in enumerate_paths(algorithm, src, dest, max_hops=k)
+        if len(p) == k
+    ]
+    # dedupe identical physical paths (different VCs)
+    paths = list(dict.fromkeys(paths))
+    best = 0
+
+    def search(i: int, used: frozenset, count: int) -> None:
+        nonlocal best
+        best = max(best, count)
+        if i >= len(paths) or count + (len(paths) - i) <= best:
+            return
+        if not (paths[i] & used):
+            search(i + 1, used | paths[i], count + 1)
+        search(i + 1, used, count)
+
+    search(0, frozenset(), 0)
+    return best

@@ -1,0 +1,145 @@
+"""Catalog of routing algorithms with their verified properties.
+
+Benchmarks, examples, and the CLI-ish helpers look algorithms up by name
+here instead of importing classes directly; each entry records the topology
+family it needs, the VC requirement, and which theorem certifies it, so
+reports can be generated uniformly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..topology.network import Network
+from .duato_adaptive import (
+    DuatoFullyAdaptiveHypercube,
+    DuatoFullyAdaptiveMesh,
+    DuatoFullyAdaptiveTorus,
+)
+from .ecube import DimensionOrderHypercube, DimensionOrderMesh
+from .efa import EnhancedFullyAdaptive, RelaxedEFA
+from .hpl import HighestPositiveLast
+from .incoherent import IncoherentExample
+from .prior_hypercube import DraperGhoshMECA, LiStyleHypercube, YangTsai
+from .relation import RoutingAlgorithm
+from .ring_example import RingExample
+from .torus_vc import DallySeitzTorus
+from .turn_model import NegativeFirst, NorthLast, WestFirst
+from .unrestricted import UnrestrictedMinimal
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """Metadata for one routing algorithm."""
+
+    name: str
+    factory: Callable[[Network], RoutingAlgorithm]
+    topology: str
+    min_vcs: int
+    adaptivity: str  # "nonadaptive" | "partial" | "full"
+    deadlock_free: bool
+    certified_by: str  # which theorem/condition proves (or refutes) it
+    notes: str = ""
+
+
+CATALOG: dict[str, CatalogEntry] = {}
+
+
+def _register(entry: CatalogEntry) -> None:
+    if entry.name in CATALOG:
+        raise ValueError(f"duplicate catalog entry {entry.name}")
+    CATALOG[entry.name] = entry
+
+
+_register(CatalogEntry(
+    "e-cube-mesh", DimensionOrderMesh, "mesh", 1, "nonadaptive", True,
+    "Dally-Seitz (acyclic CDG)",
+))
+_register(CatalogEntry(
+    "e-cube", DimensionOrderHypercube, "hypercube", 1, "nonadaptive", True,
+    "Dally-Seitz (acyclic CDG)",
+))
+_register(CatalogEntry(
+    "dally-seitz-torus", DallySeitzTorus, "torus", 2, "nonadaptive", True,
+    "Dally-Seitz (acyclic CDG)", "dateline virtual channels",
+))
+_register(CatalogEntry(
+    "negative-first", NegativeFirst, "mesh", 1, "partial", True,
+    "Dally-Seitz (acyclic CDG)", "turn model",
+))
+_register(CatalogEntry(
+    "west-first", WestFirst, "mesh", 1, "partial", True,
+    "Dally-Seitz (acyclic CDG)", "turn model, 2D",
+))
+_register(CatalogEntry(
+    "north-last", NorthLast, "mesh", 1, "partial", True,
+    "Dally-Seitz (acyclic CDG)", "turn model, 2D",
+))
+_register(CatalogEntry(
+    "highest-positive-last", HighestPositiveLast, "mesh", 1, "partial", True,
+    "Theorem 2 (acyclic CWG; CDG is cyclic)",
+    "the paper's Section 9.2 algorithm; nonminimal, incoherent, 0 extra VCs",
+))
+_register(CatalogEntry(
+    "enhanced-fully-adaptive", EnhancedFullyAdaptive, "hypercube", 2, "full", True,
+    "Theorem 2 (no True Cycles)",
+    "the paper's Section 9.3 algorithm; incoherent, partially adaptive first VC class",
+))
+_register(CatalogEntry(
+    "relaxed-efa", RelaxedEFA, "hypercube", 2, "full", False,
+    "Theorem 2 necessity (True Cycle exists)", "Theorem 6 relaxation",
+))
+_register(CatalogEntry(
+    "duato-mesh", DuatoFullyAdaptiveMesh, "mesh", 2, "full", True,
+    "Duato's condition / Theorem 2", "escape VC class = dimension order",
+))
+_register(CatalogEntry(
+    "duato-hypercube", DuatoFullyAdaptiveHypercube, "hypercube", 2, "full", True,
+    "Duato's condition / Theorem 2", "escape VC class = dimension order",
+))
+_register(CatalogEntry(
+    "duato-torus", DuatoFullyAdaptiveTorus, "torus", 3, "full", True,
+    "Duato's condition / Theorem 2", "escape = Dally-Seitz dateline pair",
+))
+_register(CatalogEntry(
+    "incoherent-example", IncoherentExample, "figure1", 1, "partial", True,
+    "Theorem 3 (CWG' exists); deadlocks under specific-waiting",
+    "Duato's Figure-1 incoherent example",
+))
+_register(CatalogEntry(
+    "ring-figure4", RingExample, "figure4", 4, "partial", True,
+    "Theorem 2 (all CWG cycles are False Resource Cycles)",
+    "Section 7.1 minimal-routing ring",
+))
+_register(CatalogEntry(
+    "unrestricted-minimal", UnrestrictedMinimal, "mesh", 1, "full", False,
+    "Theorem 2/3 necessity (True Cycles exist)",
+    "the Dally-Seitz negative example: no restrictions at all",
+))
+_register(CatalogEntry(
+    "draper-ghosh-meca", DraperGhoshMECA, "hypercube", 2, "partial", True,
+    "Theorem 2 (acyclic CWG)", "Section 9.1 baseline: skip-ahead + strict e-cube escape",
+))
+_register(CatalogEntry(
+    "yang-tsai", YangTsai, "hypercube", 2, "partial", True,
+    "Dally-Seitz / Theorem 2", "Section 9.1 baseline: positive phase then negative, twice",
+))
+_register(CatalogEntry(
+    "li-hypercube", LiStyleHypercube, "hypercube", 1, "partial", True,
+    "Theorem 2 (acyclic CWG)", "Section 9.1 baseline: 1-VC sign-disciplined partial adaptivity",
+))
+
+
+def make(name: str, network: Network, **kwargs) -> RoutingAlgorithm:
+    """Instantiate a cataloged algorithm on ``network``."""
+    try:
+        entry = CATALOG[name]
+    except KeyError:
+        raise KeyError(f"unknown routing algorithm {name!r}; have {sorted(CATALOG)}") from None
+    return entry.factory(network, **kwargs)  # type: ignore[call-arg]
+
+
+def entries_for_topology(topology: str) -> list[CatalogEntry]:
+    """All catalog entries applicable to a topology family."""
+    return [e for e in CATALOG.values() if e.topology == topology]

@@ -1,0 +1,147 @@
+"""Duato's fully adaptive routing algorithms (the ICPP'94 / TPDS'93 designs).
+
+The construction the titled paper is famous for: split the virtual channels
+into a restricted *escape* class whose extended channel dependency graph is
+acyclic, and an unrestricted *adaptive* class a message may use whenever a
+channel is free.  Deadlock freedom follows from Duato's theorem because the
+escape class forms a connected routing subfunction.
+
+Concretely, with two VCs per link on a mesh or hypercube:
+
+* VC class 0 (escape): dimension-order routing -- only the lowest dimension
+  still needing correction, in the needed direction;
+* VC class 1 (adaptive): any channel on any minimal path.
+
+On a torus the escape class is the two-VC Dally--Seitz dateline scheme, for
+three VCs per link total.
+
+These are the "Duato" curves/bars of Figure 5 and the simulation benches,
+and the primary fixture for the Duato-condition verifier: the relation has
+form ``R(n, d)``, is coherent, and provides minimal paths, so *both*
+necessary-and-sufficient conditions apply to it and must agree.
+"""
+
+from __future__ import annotations
+
+from ..topology.channel import Channel
+from ..topology.network import Network
+from .relation import NodeDestRouting, RoutingError, WaitPolicy
+from .torus_vc import DallySeitzTorus
+
+
+class DuatoFullyAdaptiveMesh(NodeDestRouting):
+    """Duato's fully adaptive algorithm on an n-D mesh (2 VCs per link).
+
+    Also serves hypercubes built as ``(2, ..., 2)`` meshes; see
+    :class:`DuatoFullyAdaptiveHypercube` for the bit-level variant.
+    """
+
+    name = "duato-mesh"
+    wait_policy = WaitPolicy.SPECIFIC
+
+    def __init__(self, network: Network) -> None:
+        super().__init__(network)
+        if network.meta.get("topology") not in ("mesh", "hypercube"):
+            raise RoutingError(f"{self.name} requires a mesh-like network")
+        if network.max_vcs() < 2:
+            raise RoutingError(f"{self.name} needs 2 virtual channels per link")
+        self.ndims = len(network.meta["dims"])
+
+    def _escape_dim(self, deltas: list[int]) -> int:
+        for dim, delta in enumerate(deltas):
+            if delta != 0:
+                return dim
+        raise AssertionError("called with node == dest")
+
+    def route_nd(self, node: int, dest: int) -> frozenset[Channel]:
+        if node == dest:
+            return frozenset()
+        here = self.network.coord(node)
+        there = self.network.coord(dest)
+        deltas = [t - h for h, t in zip(here, there)]
+        esc = self._escape_dim(deltas)
+        out: list[Channel] = []
+        for c in self.network.out_channels(node):
+            dim = c.meta.get("dim")
+            sign = c.meta.get("sign")
+            if dim is None or deltas[dim] * sign <= 0:
+                continue  # not a minimal move
+            if c.vc == 1 or (c.vc == 0 and dim == esc):
+                out.append(c)
+        return frozenset(out)
+
+    def waiting_channels(self, c_in: Channel, node: int, dest: int) -> frozenset[Channel]:
+        permitted = self.route_nd(node, dest)
+        if not permitted:
+            return frozenset()
+        wait = frozenset(c for c in permitted if c.vc == 0)
+        if not wait:
+            raise RoutingError(f"{self.name}: escape channel missing at node {node}")
+        return wait
+
+
+class DuatoFullyAdaptiveHypercube(DuatoFullyAdaptiveMesh):
+    """Duato's fully adaptive hypercube algorithm (2 VCs per link).
+
+    Identical structure to the mesh variant; kept as its own class so the
+    Figure-5 and simulator configs can name it directly and so hypercube
+    networks built by :func:`repro.topology.build_hypercube` type-check.
+    """
+
+    name = "duato-hypercube"
+
+    def __init__(self, network: Network) -> None:
+        super().__init__(network)
+        if network.meta.get("topology") != "hypercube":
+            raise RoutingError(f"{self.name} requires a hypercube network")
+
+
+class DuatoFullyAdaptiveTorus(NodeDestRouting):
+    """Duato's fully adaptive torus algorithm (3 VCs per link).
+
+    Escape class: Dally--Seitz dateline pair at VC indices 0 and 1;
+    adaptive class: VC index 2, any minimal move (shortest way around each
+    ring, both directions when equidistant).
+    """
+
+    name = "duato-torus"
+    wait_policy = WaitPolicy.SPECIFIC
+
+    def __init__(self, network: Network) -> None:
+        super().__init__(network)
+        if network.meta.get("topology") not in ("torus", "ring"):
+            raise RoutingError(f"{self.name} requires a torus network")
+        if network.max_vcs() < 3:
+            raise RoutingError(f"{self.name} needs 3 virtual channels per link")
+        self.escape = DallySeitzTorus(network, vc_base=0)
+        self.dims: tuple[int, ...] = network.meta["dims"]
+
+    def _minimal_moves(self, node: int, dest: int) -> list[tuple[int, int]]:
+        here = self.network.coord(node)
+        there = self.network.coord(dest)
+        moves: list[tuple[int, int]] = []
+        for dim, radix in enumerate(self.dims):
+            if here[dim] == there[dim]:
+                continue
+            fwd = (there[dim] - here[dim]) % radix
+            bwd = (here[dim] - there[dim]) % radix
+            if fwd <= bwd:
+                moves.append((dim, +1))
+            if bwd <= fwd:
+                moves.append((dim, -1))
+        return moves
+
+    def route_nd(self, node: int, dest: int) -> frozenset[Channel]:
+        if node == dest:
+            return frozenset()
+        out = set(self.escape.route_nd(node, dest))
+        for dim, sign in self._minimal_moves(node, dest):
+            for c in self.network.out_channels(node):
+                if c.meta.get("dim") == dim and c.meta.get("sign") == sign and c.vc == 2:
+                    out.add(c)
+        return frozenset(out)
+
+    def waiting_channels(self, c_in: Channel, node: int, dest: int) -> frozenset[Channel]:
+        if node == dest:
+            return frozenset()
+        return frozenset(self.escape.route_nd(node, dest))

@@ -1,0 +1,85 @@
+"""Nonadaptive dimension-order (e-cube) routing for meshes and hypercubes.
+
+The canonical baseline: correct each dimension in increasing order, one fixed
+path per source-destination pair.  Its channel dependency graph is acyclic
+(Dally & Seitz 1987), it is coherent, and its degree of adaptiveness is
+``1/k!`` at distance ``k`` -- the bottom curve of the paper's Figure 5.
+"""
+
+from __future__ import annotations
+
+from ..topology.channel import Channel
+from ..topology.network import Network
+from .relation import NodeDestRouting, RoutingError, WaitPolicy
+
+
+class DimensionOrderMesh(NodeDestRouting):
+    """Dimension-order routing on an n-D mesh (XY routing in 2D).
+
+    Parameters
+    ----------
+    vc:
+        Which virtual channel index to use on each link (``None`` = permit
+        every VC of the chosen link; the *physical* path stays unique, so
+        the algorithm remains nonadaptive in the Figure-5 sense only when
+        the network has one VC per link or ``vc`` is fixed).
+    """
+
+    name = "e-cube-mesh"
+    wait_policy = WaitPolicy.SPECIFIC
+
+    def __init__(self, network: Network, *, vc: int | None = 0) -> None:
+        super().__init__(network)
+        if network.meta.get("topology") not in ("mesh", "hypercube"):
+            raise RoutingError(f"{self.name} requires a mesh-like network, got {network.name}")
+        self.vc = vc
+
+    def route_nd(self, node: int, dest: int) -> frozenset[Channel]:
+        if node == dest:
+            return frozenset()
+        here = self.network.coord(node)
+        there = self.network.coord(dest)
+        for dim, (h, t) in enumerate(zip(here, there)):
+            if h != t:
+                sign = 1 if t > h else -1
+                return self._channels(node, dim, sign)
+        return frozenset()
+
+    def _channels(self, node: int, dim: int, sign: int) -> frozenset[Channel]:
+        out = [
+            c
+            for c in self.network.out_channels(node)
+            if c.meta.get("dim") == dim and c.meta.get("sign") == sign
+        ]
+        if self.vc is not None:
+            out = [c for c in out if c.vc == self.vc]
+        if not out:
+            raise RoutingError(f"{self.name}: no channel dim={dim} sign={sign} at node {node}")
+        return frozenset(out)
+
+
+class DimensionOrderHypercube(NodeDestRouting):
+    """E-cube routing on a binary hypercube: correct the lowest differing bit.
+
+    Equivalent to :class:`DimensionOrderMesh` on the (2,...,2) mesh but works
+    directly on node-id bits, matching the Section 9.3 conventions.
+    """
+
+    name = "e-cube"
+    wait_policy = WaitPolicy.SPECIFIC
+
+    def __init__(self, network: Network, *, vc: int | None = 0) -> None:
+        super().__init__(network)
+        if network.meta.get("topology") != "hypercube":
+            raise RoutingError(f"{self.name} requires a hypercube network")
+        self.vc = vc
+
+    def route_nd(self, node: int, dest: int) -> frozenset[Channel]:
+        if node == dest:
+            return frozenset()
+        low = ((node ^ dest) & -(node ^ dest)).bit_length() - 1  # lowest set bit
+        nbr = node ^ (1 << low)
+        out = [c for c in self.network.channels_between(node, nbr)]
+        if self.vc is not None:
+            out = [c for c in out if c.vc == self.vc]
+        return frozenset(out)

@@ -1,0 +1,69 @@
+"""Duato's incoherent example routing algorithm (Figures 1-3, Sections 5-8).
+
+The running example of the paper: minimal routing on the Figure-1 four-node
+line, except that a message **destined for n0** may, at node ``n1``, detour
+rightward over the extra channel ``cA1`` (and may do so repeatedly), and may
+return leftward from ``n2`` over either ``cL2`` or the extra channel ``cB2``.
+``cL1``, ``cA1`` and ``cB2`` are thus usable only by dest-``n0`` messages.
+
+The algorithm is incoherent -- a message from ``n1`` to ``n0`` may route
+through ``n2`` via ``cA1``, but a message from ``n1`` to ``n2`` may not use
+``cA1`` -- so Duato's proof technique cannot touch it.  Its channel waiting
+graph contains both True Cycles and a False Resource Cycle (two messages
+would have to occupy ``cA1`` simultaneously), and the paper uses it to show:
+
+* waiting on a *specific* channel deadlocks (Theorem 2: True Cycles exist);
+* waiting on *any* permitted channel is deadlock-free (Theorem 3: the
+  Section-8 reduction finds a wait-connected CWG' with no True Cycles).
+"""
+
+from __future__ import annotations
+
+from ..topology.channel import Channel
+from ..topology.network import Network
+from .relation import NodeDestRouting, RoutingError, WaitPolicy
+
+
+class IncoherentExample(NodeDestRouting):
+    """The Figure-1 incoherent routing algorithm.
+
+    Parameters
+    ----------
+    wait_any:
+        ``True`` (default) -- the Theorem-3 regime under which the paper
+        proves the algorithm deadlock-free.  ``False`` models the Theorem-2
+        regime (a blocked message commits to one waiting channel), under
+        which the paper shows a reachable deadlock exists.
+    detour:
+        Permit the ``cA1`` detour (the whole point of the example); switch
+        off to recover plain minimal routing on the line for baselines.
+    """
+
+    name = "incoherent-example"
+
+    def __init__(self, network: Network, *, wait_any: bool = True, detour: bool = True) -> None:
+        super().__init__(network)
+        if network.meta.get("topology") != "figure1":
+            raise RoutingError(f"{self.name} requires the Figure-1 network")
+        self.wait_policy = WaitPolicy.ANY if wait_any else WaitPolicy.SPECIFIC
+        self.detour = detour
+        by = network.channel_by_label
+        self.cH = (by("cH0"), by("cH1"), by("cH2"))
+        self.cL = (None, by("cL1"), by("cL2"), by("cL3"))
+        self.cA1 = by("cA1")
+        self.cB2 = by("cB2")
+
+    def route_nd(self, node: int, dest: int) -> frozenset[Channel]:
+        if node == dest:
+            return frozenset()
+        out: list[Channel] = []
+        if dest > node:
+            out.append(self.cH[node])
+        else:
+            out.append(self.cL[node])
+            if dest == 0:
+                if node == 1 and self.detour:
+                    out.append(self.cA1)
+                elif node == 2:
+                    out.append(self.cB2)
+        return frozenset(out)

@@ -1,0 +1,227 @@
+"""Structural properties of routing algorithms (Definitions 5-7 and friends).
+
+Duato's necessary-and-sufficient condition demands *coherence* (prefix- and
+suffix-closure, no node revisits) and a minimal path for every pair; the
+paper's whole point is that its own condition needs neither.  These checkers
+make the distinction executable: the Section-9 algorithms (HPL, EFA) fail
+``is_coherent`` yet pass the CWG condition, and the benchmarks record both.
+
+All checks work by exhaustive path enumeration, so they are meant for the
+small-to-medium networks used in verification (the theory side), not for the
+large simulation configs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+from ..topology.channel import Channel
+from .paths import enumerate_paths, has_route, path_nodes
+from .relation import RoutingAlgorithm
+
+
+@dataclass
+class PropertyReport:
+    """Outcome of a property check, with a counterexample when it fails."""
+
+    holds: bool
+    counterexample: str = ""
+    details: dict = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def is_connected(algorithm: RoutingAlgorithm, *, max_hops: int | None = None) -> PropertyReport:
+    """Every ordered pair of distinct nodes has at least one permitted path."""
+    net = algorithm.network
+    for src in net.nodes:
+        for dest in net.nodes:
+            if src != dest and not has_route(algorithm, src, dest, max_hops=max_hops):
+                return PropertyReport(False, f"no route {src} -> {dest}")
+    return PropertyReport(True)
+
+
+def is_minimal(algorithm: RoutingAlgorithm, *, max_hops: int | None = None) -> PropertyReport:
+    """Every permitted path is a shortest path."""
+    net = algorithm.network
+    dist = net.shortest_distances()
+    for src in net.nodes:
+        for dest in net.nodes:
+            if src == dest:
+                continue
+            for path in enumerate_paths(algorithm, src, dest, max_hops=max_hops):
+                if len(path) != dist[src][dest]:
+                    return PropertyReport(
+                        False,
+                        f"path {src}->{dest} has {len(path)} hops, distance is {dist[src][dest]}",
+                        {"path": path},
+                    )
+    return PropertyReport(True)
+
+
+def provides_minimal_path(algorithm: RoutingAlgorithm) -> PropertyReport:
+    """Duato's side condition: some permitted path per pair is minimal.
+
+    (Required by Duato's N&S condition even for nonminimal algorithms;
+    *not* required by the CWG condition.)
+    """
+    net = algorithm.network
+    dist = net.shortest_distances()
+    for src in net.nodes:
+        for dest in net.nodes:
+            if src == dest:
+                continue
+            found = False
+            for path in enumerate_paths(algorithm, src, dest, max_hops=dist[src][dest]):
+                if len(path) == dist[src][dest]:
+                    found = True
+                    break
+            if not found:
+                return PropertyReport(False, f"no minimal path permitted {src} -> {dest}")
+    return PropertyReport(True)
+
+
+def _all_permitted_paths(algorithm: RoutingAlgorithm, max_hops: int | None):
+    net = algorithm.network
+    for src in net.nodes:
+        for dest in net.nodes:
+            if src == dest:
+                continue
+            for path in enumerate_paths(algorithm, src, dest, max_hops=max_hops):
+                yield src, dest, path
+
+
+def _path_is_permitted(algorithm: RoutingAlgorithm, src: int, dest: int, path: tuple[Channel, ...]) -> bool:
+    """Does the relation permit following exactly ``path`` from src to dest?"""
+    c_in = algorithm.network.injection_channel(src)
+    node = src
+    for c in path:
+        if c not in algorithm.route(c_in, node, dest):
+            return False
+        c_in, node = c, c.dst
+    return node == dest
+
+
+def is_prefix_closed(algorithm: RoutingAlgorithm, *, max_hops: int | None = None) -> PropertyReport:
+    """Definition 5: permitted path through n_x implies its prefix is permitted to n_x."""
+    for src, dest, path in _all_permitted_paths(algorithm, max_hops):
+        nodes = path_nodes(path, src)
+        for cut in range(1, len(path)):
+            mid = nodes[cut]
+            if mid == src or mid == dest:
+                continue
+            # Prefix up to the *first* occurrence of mid, per Definition 5.
+            first = nodes.index(mid)
+            prefix = path[:first]
+            if not _path_is_permitted(algorithm, src, mid, prefix):
+                return PropertyReport(
+                    False,
+                    f"path {src}->{dest} via {mid}: prefix of {len(prefix)} hops not permitted "
+                    f"when {mid} is the destination",
+                    {"path": path, "prefix": prefix},
+                )
+    return PropertyReport(True)
+
+
+def is_suffix_closed(algorithm: RoutingAlgorithm, *, max_hops: int | None = None) -> PropertyReport:
+    """Definition 6: permitted path through n_x implies its suffix is permitted from n_x."""
+    for src, dest, path in _all_permitted_paths(algorithm, max_hops):
+        nodes = path_nodes(path, src)
+        for cut in range(1, len(path)):
+            mid = nodes[cut]
+            if mid == dest:
+                continue
+            suffix = path[cut:]
+            if not _path_is_permitted(algorithm, mid, dest, suffix):
+                return PropertyReport(
+                    False,
+                    f"path {src}->{dest} via {mid}: suffix of {len(suffix)} hops not permitted "
+                    f"when {mid} is the source",
+                    {"path": path, "suffix": suffix},
+                )
+    return PropertyReport(True)
+
+
+def never_revisits_node(algorithm: RoutingAlgorithm, *, max_hops: int | None = None) -> PropertyReport:
+    """No permitted path routes through the same node twice.
+
+    Checked over non-simple enumeration bounded at ``max_hops`` (default:
+    ``num_nodes + 1`` hops, enough to expose any revisit on a shortest
+    witness).
+    """
+    net = algorithm.network
+    bound = max_hops if max_hops is not None else net.num_nodes + 1
+    for src in net.nodes:
+        for dest in net.nodes:
+            if src == dest:
+                continue
+            for path in enumerate_paths(algorithm, src, dest, max_hops=bound, simple=False):
+                nodes = path_nodes(path, src)
+                if len(set(nodes)) != len(nodes):
+                    return PropertyReport(False, f"path {src}->{dest} revisits a node", {"path": path})
+    return PropertyReport(True)
+
+
+def is_coherent(algorithm: RoutingAlgorithm, *, max_hops: int | None = None) -> PropertyReport:
+    """Definition 7: prefix-closed, suffix-closed, and never revisits a node."""
+    for check, label in (
+        (is_prefix_closed, "prefix-closed"),
+        (is_suffix_closed, "suffix-closed"),
+        (never_revisits_node, "node-revisit-free"),
+    ):
+        rep = check(algorithm, max_hops=max_hops)
+        if not rep:
+            return PropertyReport(False, f"not {label}: {rep.counterexample}", rep.details)
+    return PropertyReport(True)
+
+
+def is_fully_adaptive(algorithm: RoutingAlgorithm) -> PropertyReport:
+    """Every minimal *physical* path is permitted for every pair.
+
+    "All fully adaptive routing algorithms allow a message to use any
+    physical channel that is part of a shortest path" (Section 1); virtual
+    channel restrictions on those physical channels are allowed.
+    """
+    net = algorithm.network
+    dist = net.shortest_distances()
+    for src in net.nodes:
+        for dest in net.nodes:
+            if src == dest:
+                continue
+            d = dist[src][dest]
+            # Physical node sequences of permitted minimal paths.
+            permitted = {
+                tuple(path_nodes(p, src))
+                for p in enumerate_paths(algorithm, src, dest, max_hops=d)
+                if len(p) == d
+            }
+            # All minimal physical node sequences in the network.
+            all_min = _minimal_node_paths(net, src, dest, d, dist)
+            missing = all_min - permitted
+            if missing:
+                return PropertyReport(
+                    False,
+                    f"{src}->{dest}: {len(missing)} of {len(all_min)} minimal physical paths prohibited",
+                    {"missing": sorted(missing)[:4]},
+                )
+    return PropertyReport(True)
+
+
+def _minimal_node_paths(net, src: int, dest: int, d: int, dist) -> set[tuple[int, ...]]:
+    """All shortest node sequences src..dest in the underlying graph."""
+    out: set[tuple[int, ...]] = set()
+
+    def dfs(node: int, acc: list[int]) -> None:
+        if node == dest:
+            out.add(tuple(acc))
+            return
+        for nbr in net.neighbors_out(node):
+            if dist[nbr][dest] == dist[node][dest] - 1:
+                acc.append(nbr)
+                dfs(nbr, acc)
+                acc.pop()
+
+    dfs(src, [src])
+    return out

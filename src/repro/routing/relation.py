@@ -1,0 +1,176 @@
+"""Routing relations, waiting channels, and wait policies (Definitions 2-10).
+
+The paper's central abstraction is a routing relation of the general form
+``R: C x N x N -> P(C)``: given the *input channel* a message arrived on, the
+*current node*, and the *destination*, the relation supplies the set of
+output channels the message may use next.  Restricting attention to the less
+general Duato form ``R: N x N -> P(C)`` is exactly what the paper relaxes,
+so the base class here takes the input channel everywhere and a mixin marks
+relations that ignore it.
+
+Waiting channels (Definition 8) are first-class: when every permitted output
+is busy, a blocked message waits on one or more *waiting channels*, which
+must be a subset of the permitted outputs.  Two waiting regimes exist:
+
+* :attr:`WaitPolicy.SPECIFIC` -- the algorithm designates a waiting channel
+  and the message waits for that channel alone (Theorem 2 applies);
+* :attr:`WaitPolicy.ANY` -- the message may acquire whichever permitted
+  output frees first (Theorem 3 applies).
+
+Conventions
+-----------
+* The input channel passed to :meth:`RoutingAlgorithm.route` is always a real
+  :class:`~repro.topology.channel.Channel`; a message at its source presents
+  the node's *injection channel*.  ``c_in.dst`` must equal ``node``.
+* ``route(c_in, node, node)`` (message at destination) returns the empty set;
+  delivery is handled by the caller (Assumption 2: always consumed).
+* ``route`` must never return injection or ejection channels.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from collections.abc import Iterable
+
+from ..topology.channel import Channel
+from ..topology.network import Network
+
+
+class WaitPolicy(enum.Enum):
+    """How a blocked message waits (Section 6's case (1) vs case (2))."""
+
+    #: The message picks one designated waiting channel and waits for it
+    #: until it frees (Theorem 2 regime).
+    SPECIFIC = "specific"
+    #: The message waits on its whole waiting set and takes whichever
+    #: permitted channel frees first (Theorem 3 regime).
+    ANY = "any"
+
+
+class RoutingError(ValueError):
+    """Raised for malformed routing queries or inconsistent relations."""
+
+
+class RoutingAlgorithm(ABC):
+    """Base class for all routing algorithms (Definition 4).
+
+    Subclasses implement :meth:`route` and optionally override
+    :meth:`waiting_channels` (default: every permitted output is a waiting
+    channel) and :attr:`wait_policy` (default: :attr:`WaitPolicy.ANY`).
+
+    The class is deliberately stateless per-message: everything the relation
+    may consult is the triple ``(c_in, node, dest)`` -- the paper's "only
+    local information" restriction.
+    """
+
+    #: Relation form: "CND" for R(c_in, n, d), "ND" for R(n, d).
+    form: str = "CND"
+    #: Waiting regime; drives which theorem the verifier applies.
+    wait_policy: WaitPolicy = WaitPolicy.ANY
+    #: Human-readable algorithm name for reports.
+    name: str = "routing"
+
+    def __init__(self, network: Network) -> None:
+        if not network.frozen:
+            raise RoutingError("routing algorithms require a frozen network")
+        self.network = network
+
+    # ------------------------------------------------------------------
+    # the relation
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def route(self, c_in: Channel, node: int, dest: int) -> frozenset[Channel]:
+        """Output channels permitted for a message at ``node`` heading to ``dest``.
+
+        ``c_in`` is the channel the message arrived on (the injection channel
+        when at the source).  Must return a subset of
+        ``network.out_channels(node)``; empty iff ``node == dest`` (or the
+        relation is broken, which verifiers will flag as not wait-connected).
+        """
+
+    def waiting_channels(self, c_in: Channel, node: int, dest: int) -> frozenset[Channel]:
+        """Channels the message may *wait on* when blocked (Definition 8).
+
+        Must be a subset of ``route(c_in, node, dest)`` and nonempty whenever
+        the route set is nonempty, or the algorithm is not wait-connected
+        (Definition 10) and therefore not deadlock-free.
+        """
+        return self.route(c_in, node, dest)
+
+    # ------------------------------------------------------------------
+    # conveniences
+    # ------------------------------------------------------------------
+    def route_from_source(self, node: int, dest: int) -> frozenset[Channel]:
+        """Route set for a newly injected message (input = injection channel)."""
+        return self.route(self.network.injection_channel(node), node, dest)
+
+    def check_route_set(self, channels: Iterable[Channel], node: int) -> frozenset[Channel]:
+        """Validate a route set: all outputs must leave ``node`` over links."""
+        out = frozenset(channels)
+        for c in out:
+            if not c.is_link or c.src != node:
+                raise RoutingError(f"{self.name}: channel {c!r} is not a link output of node {node}")
+        return out
+
+    def describe(self) -> str:
+        """One-line summary for reports."""
+        return (
+            f"{self.name} on {self.network.name} "
+            f"[form={self.form}, wait={self.wait_policy.value}]"
+        )
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class NodeDestRouting(RoutingAlgorithm):
+    """Routing relation of Duato's restricted form ``R(n, d)`` (Definition 2 variant).
+
+    Subclasses implement :meth:`route_nd`; the input channel is ignored,
+    which makes the relation automatically suffix-closed (Definition 6 note).
+    """
+
+    form = "ND"
+
+    @abstractmethod
+    def route_nd(self, node: int, dest: int) -> frozenset[Channel]:
+        """Output channels for ``(node, dest)``, independent of input channel."""
+
+    def route(self, c_in: Channel, node: int, dest: int) -> frozenset[Channel]:
+        return self.route_nd(node, dest)
+
+
+class RestrictedWaiting(RoutingAlgorithm):
+    """Mixin/wrapper that narrows the waiting set of an existing algorithm.
+
+    Used to express rules like HPL's "if all outputs are busy, wait for the
+    negative channel of dimension p" without duplicating the route logic,
+    and by the CWG' reduction to realize a reduced waiting discipline.
+    """
+
+    def __init__(self, inner: RoutingAlgorithm, wait_policy: WaitPolicy | None = None) -> None:
+        super().__init__(inner.network)
+        self.inner = inner
+        self.name = f"{inner.name}+waiting"
+        self.form = inner.form
+        self.wait_policy = wait_policy if wait_policy is not None else inner.wait_policy
+
+    def route(self, c_in: Channel, node: int, dest: int) -> frozenset[Channel]:
+        return self.inner.route(c_in, node, dest)
+
+    def waiting_channels(self, c_in: Channel, node: int, dest: int) -> frozenset[Channel]:
+        return self.inner.waiting_channels(c_in, node, dest)
+
+
+def as_cnd(algorithm: RoutingAlgorithm) -> RoutingAlgorithm:
+    """View any algorithm through the general ``R(c_in, n, d)`` interface.
+
+    ND-form relations "can always be converted to routing relations of the
+    former type by providing the same set of output channels for every input
+    channel" (Section 2); since :class:`NodeDestRouting` already ignores the
+    input channel, this is the identity -- it exists so callers can assert
+    the conversion direction that *is* always possible, as the paper notes
+    the reverse is not.
+    """
+    return algorithm

@@ -1,0 +1,118 @@
+"""Selection functions (Definition 3).
+
+A selection function ``S: C x P(C) x Sigma -> C`` picks one output channel
+from the route set given the channel statuses.  The routing *relation*
+determines deadlock freedom; the selection function only affects
+performance -- so these live apart from the relations and are consumed by
+the simulator's virtual-channel allocator.
+
+All selection functions here receive the candidate channels in a stable
+order (network cid order) together with a ``free`` predicate, and must
+return a free candidate or ``None`` when none is free.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import Protocol
+
+import numpy as np
+
+from ..topology.channel import Channel
+
+
+class SelectionFunction(Protocol):
+    """Callable picking one free channel from an ordered candidate list."""
+
+    def __call__(
+        self,
+        c_in: Channel,
+        candidates: Sequence[Channel],
+        free: Callable[[Channel], bool],
+    ) -> Channel | None: ...
+
+
+def first_free(c_in: Channel, candidates: Sequence[Channel], free: Callable[[Channel], bool]) -> Channel | None:
+    """Deterministic: lowest-cid free candidate.  Good for reproducible tests."""
+    for c in candidates:
+        if free(c):
+            return c
+    return None
+
+
+def straight_first(c_in: Channel, candidates: Sequence[Channel], free: Callable[[Channel], bool]) -> Channel | None:
+    """Prefer continuing in the same dimension/direction as ``c_in``.
+
+    Falls back to the first free candidate.  Reduces in-network turns, which
+    empirically lowers contention for dimension-ordered traffic.
+    """
+    dim = c_in.meta.get("dim")
+    sign = c_in.meta.get("sign")
+    if dim is not None:
+        for c in candidates:
+            if c.meta.get("dim") == dim and c.meta.get("sign") == sign and free(c):
+                return c
+    return first_free(c_in, candidates, free)
+
+
+class RandomSelection:
+    """Uniformly random free candidate, with an owned RNG for reproducibility."""
+
+    def __init__(self, seed: int | np.random.Generator = 0) -> None:
+        self.rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+
+    def __call__(
+        self,
+        c_in: Channel,
+        candidates: Sequence[Channel],
+        free: Callable[[Channel], bool],
+    ) -> Channel | None:
+        free_cands = [c for c in candidates if free(c)]
+        if not free_cands:
+            return None
+        return free_cands[int(self.rng.integers(len(free_cands)))]
+
+
+class RoundRobinSelection:
+    """Rotates the preferred candidate per (node) to spread load evenly."""
+
+    def __init__(self) -> None:
+        self._counter: dict[int, int] = {}
+
+    def __call__(
+        self,
+        c_in: Channel,
+        candidates: Sequence[Channel],
+        free: Callable[[Channel], bool],
+    ) -> Channel | None:
+        if not candidates:
+            return None
+        node = candidates[0].src
+        start = self._counter.get(node, 0) % len(candidates)
+        self._counter[node] = start + 1
+        for i in range(len(candidates)):
+            c = candidates[(start + i) % len(candidates)]
+            if free(c):
+                return c
+        return None
+
+
+def lowest_vc_first(c_in: Channel, candidates: Sequence[Channel], free: Callable[[Channel], bool]) -> Channel | None:
+    """Prefer low VC indices: drains restricted VC classes before escape VCs.
+
+    For two-class algorithms (Duato's, EFA) this biases traffic onto the
+    regulated first class, keeping the adaptive class free as the escape
+    valve -- the selection the paper's Section 9 algorithms implicitly assume.
+    """
+    for c in sorted(candidates, key=lambda ch: (ch.vc, ch.cid)):
+        if free(c):
+            return c
+    return None
+
+
+def highest_vc_first(c_in: Channel, candidates: Sequence[Channel], free: Callable[[Channel], bool]) -> Channel | None:
+    """Prefer high VC indices: uses the adaptive class first (ablation foil)."""
+    for c in sorted(candidates, key=lambda ch: (-ch.vc, ch.cid)):
+        if free(c):
+            return c
+    return None

@@ -1,0 +1,84 @@
+"""Dally--Seitz dimension-order torus routing with dateline virtual channels.
+
+The classic 1987 construction that motivated virtual channels: dimension-order
+routing on a k-ary n-cube deadlocks because each ring is a cycle, so each
+unidirectional link carries two virtual channels and a message switches from
+the "high" class to the "low" class when it crosses the dateline (the
+wrap-around link).  Locally this is decided by comparing the current and
+destination coordinates, so the relation has Duato's ``R(n, d)`` form and an
+acyclic channel dependency graph.
+
+Used here as (a) a baseline verified by the Dally--Seitz checker, (b) the
+escape layer inside Duato's fully adaptive torus algorithm, and (c) the
+backbone of the Figure-4 ring example.
+"""
+
+from __future__ import annotations
+
+from ..topology.channel import Channel
+from ..topology.network import Network
+from .relation import NodeDestRouting, RoutingError, WaitPolicy
+
+
+class DallySeitzTorus(NodeDestRouting):
+    """Dimension-order k-ary n-cube routing with 2 dateline VCs per link.
+
+    VC class 0 ("high") is used while the remaining route in the current
+    dimension still crosses the wrap-around link; class 1 ("low") once it no
+    longer does.  Ties in direction choice go to the positive direction.
+
+    ``vc_base`` lets the two dateline classes live at VC indices
+    ``vc_base`` and ``vc_base + 1`` so adaptive algorithms can stack extra
+    classes on the same links.
+    """
+
+    name = "dally-seitz-torus"
+    wait_policy = WaitPolicy.SPECIFIC
+
+    def __init__(self, network: Network, *, vc_base: int = 0) -> None:
+        super().__init__(network)
+        if network.meta.get("topology") not in ("torus", "ring"):
+            raise RoutingError(f"{self.name} requires a torus network")
+        self.dims: tuple[int, ...] = network.meta["dims"]
+        if network.max_vcs() < vc_base + 2:
+            raise RoutingError(f"{self.name} needs >= {vc_base + 2} VCs per link")
+        self.vc_base = vc_base
+        self.unidirectional = bool(network.meta.get("unidirectional", False))
+
+    def direction(self, dim: int, here: int, there: int) -> int:
+        """Travel direction in ``dim``: shortest way around, ties positive."""
+        radix = self.dims[dim]
+        fwd = (there - here) % radix
+        bwd = (here - there) % radix
+        if self.unidirectional:
+            return +1
+        return +1 if fwd <= bwd else -1
+
+    def crosses_dateline(self, dim: int, here: int, there: int, sign: int) -> bool:
+        """Does the remaining route in ``dim`` traverse the wrap link?"""
+        # Going positive, the wrap link is (radix-1) -> 0: crossed iff the
+        # destination coordinate is "behind" us.  Symmetrically going negative.
+        if sign > 0:
+            return there < here
+        return there > here
+
+    def route_nd(self, node: int, dest: int) -> frozenset[Channel]:
+        if node == dest:
+            return frozenset()
+        here = self.network.coord(node)
+        there = self.network.coord(dest)
+        for dim in range(len(self.dims)):
+            if here[dim] != there[dim]:
+                sign = self.direction(dim, here[dim], there[dim])
+                vc = self.vc_base + (0 if self.crosses_dateline(dim, here[dim], there[dim], sign) else 1)
+                out = [
+                    c
+                    for c in self.network.out_channels(node)
+                    if c.meta.get("dim") == dim and c.meta.get("sign") == sign and c.vc == vc
+                ]
+                if not out:
+                    raise RoutingError(
+                        f"{self.name}: missing channel dim={dim} sign={sign} vc={vc} at node {node}"
+                    )
+                return frozenset(out)
+        return frozenset()

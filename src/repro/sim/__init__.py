@@ -1,0 +1,46 @@
+"""Flit-level wormhole network simulator (the Section 3 system model).
+
+Routers with virtual-channel flow control, per-physical-link flit
+multiplexing, non-starving arbitration, synthetic and scripted traffic, and
+a runtime deadlock detector that reports Definition-12 knots.
+"""
+
+from .config import SimConfig
+from .deadlock import DeadlockDetector, DeadlockReport
+from .engine import WormholeSimulator
+from .message import Message
+from .stats import SimStats, StatsSummary
+from .traffic import (
+    PATTERNS,
+    BernoulliTraffic,
+    CombinedTraffic,
+    ScriptedTraffic,
+    TrafficSource,
+    bit_complement_pattern,
+    bit_reverse_pattern,
+    hotspot_pattern,
+    tornado_pattern,
+    transpose_pattern,
+    uniform_pattern,
+)
+
+__all__ = [
+    "PATTERNS",
+    "BernoulliTraffic",
+    "CombinedTraffic",
+    "DeadlockDetector",
+    "DeadlockReport",
+    "Message",
+    "ScriptedTraffic",
+    "SimConfig",
+    "SimStats",
+    "StatsSummary",
+    "TrafficSource",
+    "WormholeSimulator",
+    "bit_complement_pattern",
+    "bit_reverse_pattern",
+    "hotspot_pattern",
+    "tornado_pattern",
+    "transpose_pattern",
+    "uniform_pattern",
+]

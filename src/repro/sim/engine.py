@@ -1,0 +1,346 @@
+"""The flit-level wormhole network simulator.
+
+Implements the system model of Section 3 directly:
+
+1. nodes generate messages of arbitrary length at any rate (traffic
+   sources + unbounded source queues);
+2. messages arriving at their destination are consumed (an ejection port
+   per node with configurable rate);
+3. once a channel queue accepts a header flit it accepts all flits of that
+   message before any other (per-channel ownership);
+4. a channel queue holds flits of at most one message, and the channel is
+   released only after the tail flit has traversed it;
+5. nodes arbitrate among messages requesting the same output channel
+   without starvation (round-robin virtual-channel arbitration per physical
+   link, FIFO source queues, and oldest-first allocation order).
+
+Each simulated cycle has three phases:
+
+* **allocation** -- every message whose header sits at the front of its
+  leading channel queue (or at the source) consults the routing relation
+  ``R(c_in, node, dest)``, and a free permitted channel is allocated via the
+  selection function; blocked messages record their waiting channels, with
+  wait-on-SPECIFIC messages committing to the designated waiting set until
+  one of those channels is acquired (Section 6 case (1));
+* **transmission** -- each physical link forwards at most one flit per
+  cycle, round-robin over its virtual channels, subject to downstream
+  buffer space;
+* **ejection** -- destinations consume up to ``ejection_rate`` flits.
+
+The engine is deterministic given the config seed: all iteration orders are
+fixed, and stochastic choices draw from one owned RNG.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+import numpy as np
+
+from ..routing.relation import RoutingAlgorithm, WaitPolicy
+from ..topology.channel import Channel
+from .config import SimConfig
+from .deadlock import DeadlockDetector, DeadlockReport
+from .message import Message
+from .stats import SimStats
+from .traffic import TrafficSource
+
+#: flit record: (message id, is_head, is_tail)
+Flit = tuple[int, bool, bool]
+
+
+class WormholeSimulator:
+    """Cycle-based wormhole simulator for one network + routing algorithm."""
+
+    def __init__(
+        self,
+        algorithm: RoutingAlgorithm,
+        traffic: TrafficSource,
+        config: SimConfig | None = None,
+    ) -> None:
+        self.algorithm = algorithm
+        self.network = algorithm.network
+        self.traffic = traffic
+        self.config = config or SimConfig()
+        self.rng = np.random.default_rng(self.config.seed)
+        self.wait_policy = self.config.wait_policy_override or algorithm.wait_policy
+
+        self.cycle = 0
+        self.messages: dict[int, Message] = {}
+        #: undelivered message ids, ascending (allocation order = oldest first)
+        self._active: list[int] = []
+        self._next_mid = 0
+        #: per-channel flit queue (flits that have traversed the channel)
+        self.buffers: dict[Channel, deque[Flit]] = {
+            c: deque() for c in self.network.link_channels
+        }
+        #: channel ownership (Assumption 3/4)
+        self.owner: dict[Channel, int | None] = {c: None for c in self.network.link_channels}
+        #: channels marked faulty (Definition 3's fault-tolerant status set);
+        #: faulty channels are never allocated
+        self.faulty: set[Channel] = set()
+        #: per-node FIFO source queues of message ids
+        self.source_queues: list[deque[int]] = [deque() for _ in self.network.nodes]
+        #: physical links and their VCs, in deterministic order
+        self._links: list[tuple[tuple[int, int], list[Channel]]] = self._group_links()
+        self._rr: dict[tuple[int, int], int] = {link: 0 for link, _ in self._links}
+        self.stats = SimStats()
+        self.detector = DeadlockDetector(self)
+        self.deadlock: DeadlockReport | None = None
+        self._dist = self.network.shortest_distances() if self.config.prefer_minimal else None
+
+    # ------------------------------------------------------------------
+    def _group_links(self) -> list[tuple[tuple[int, int], list[Channel]]]:
+        groups: dict[tuple[int, int], list[Channel]] = {}
+        for c in self.network.link_channels:
+            groups.setdefault(c.endpoints, []).append(c)
+        return sorted(groups.items())
+
+    # ------------------------------------------------------------------
+    # message lifecycle
+    # ------------------------------------------------------------------
+    def inject_message(self, src: int, dest: int, length: int, *, created: int | None = None) -> Message:
+        """Hand a new message to ``src``'s source queue."""
+        if src == dest:
+            raise ValueError("source == destination")
+        if length < 1:
+            raise ValueError("message length must be >= 1 flit")
+        m = Message(
+            mid=self._next_mid, src=src, dest=dest, length=length,
+            created=self.cycle if created is None else created,
+        )
+        self._next_mid += 1
+        self.messages[m.mid] = m
+        self._active.append(m.mid)
+        self.source_queues[src].append(m.mid)
+        self.stats.offered_flits += length
+        return m
+
+    # ------------------------------------------------------------------
+    # cycle phases
+    # ------------------------------------------------------------------
+    def _routing_state(self, m: Message) -> tuple[Channel, int] | None:
+        """(input channel, node) if the header currently needs an output.
+
+        Returns None when the message has no routing decision pending: not
+        yet at the front of its source queue, header not at a queue front,
+        or already arrived.
+        """
+        if m.header_arrived:
+            return None
+        lead = m.leading_channel
+        if lead is None:
+            # still in the source queue; only the front message may inject
+            q = self.source_queues[m.src]
+            if not q or q[0] != m.mid:
+                return None
+            return (self.network.injection_channel(m.src), m.src)
+        buf = self.buffers[lead]
+        if not buf or not buf[0][1]:  # header not at the front
+            return None
+        return (lead, lead.dst)
+
+    def _phase_allocate(self) -> None:
+        # Oldest message first: prevents starvation (Assumption 5).
+        for mid in self._active:
+            m = self.messages[mid]
+            state = self._routing_state(m)
+            if state is None:
+                continue
+            c_in, node = state
+            if node == m.dest:
+                m.header_arrived = True
+                m.waiting_for = None
+                continue
+            permitted = self.algorithm.route(c_in, node, m.dest)
+            if m.waiting_for is not None and self.wait_policy is WaitPolicy.SPECIFIC:
+                # committed: may acquire only a designated waiting channel
+                pool = m.waiting_for
+            else:
+                pool = permitted
+            if self._dist is not None:
+                dist = self._dist
+                prev = c_in.src if c_in.is_link else -1
+                # progress first, then avoid immediate U-turns, then stable
+                candidates = sorted(
+                    pool,
+                    key=lambda c: (dist[c.dst][m.dest], c.dst == prev, c.vc, c.cid),
+                )
+            else:
+                candidates = sorted(pool, key=lambda c: c.cid)
+            free = lambda c: self.owner[c] is None and c not in self.faulty
+            choice = self.config.selection(c_in, candidates, free)
+            if choice is not None:
+                self.owner[choice] = m.mid
+                m.held.append(choice)
+                m.hops += 1
+                m.waiting_for = None
+                m.last_progress = self.cycle
+                if m.started is None:
+                    m.started = self.cycle
+            else:
+                if m.waiting_for is None or self.wait_policy is not WaitPolicy.SPECIFIC:
+                    m.waiting_for = self.algorithm.waiting_channels(c_in, node, m.dest)
+
+    def _phase_transmit(self) -> None:
+        depth = self.config.buffer_depth
+        for link, vcs in self._links:
+            n = len(vcs)
+            start = self._rr[link]
+            for k in range(n):
+                c = vcs[(start + k) % n]
+                mid = self.owner[c]
+                if mid is None:
+                    continue
+                m = self.messages[mid]
+                buf = self.buffers[c]
+                if len(buf) >= depth:
+                    continue
+                idx = m.held.index(c)
+                if idx == 0:
+                    # flit comes from the source queue
+                    if m.flits_injected >= m.length:
+                        continue
+                    is_head = m.flits_injected == 0
+                    is_tail = m.flits_injected == m.length - 1
+                    buf.append((mid, is_head, is_tail))
+                    m.flits_injected += 1
+                    if is_tail:
+                        q = self.source_queues[m.src]
+                        if q and q[0] == mid:
+                            q.popleft()
+                else:
+                    prev = m.held[idx - 1]
+                    pbuf = self.buffers[prev]
+                    if not pbuf:
+                        continue
+                    flit = pbuf.popleft()
+                    buf.append(flit)
+                    if flit[2]:  # tail left prev: release it
+                        self.owner[prev] = None
+                        m.held.pop(idx - 1)
+                self._rr[link] = (start + k + 1) % n
+                self.stats.flit_hops += 1
+                m.last_progress = self.cycle
+                break  # one flit per physical link per cycle
+
+    def _phase_eject(self) -> None:
+        done = False
+        for mid in self._active:
+            m = self.messages[mid]
+            if not m.header_arrived:
+                continue
+            lead = m.leading_channel
+            if lead is None:
+                continue
+            buf = self.buffers[lead]
+            for _ in range(self.config.ejection_rate):
+                if not buf:
+                    break
+                flit = buf.popleft()
+                m.flits_consumed += 1
+                self.stats.note_consumed(self.cycle)
+                if flit[2]:  # tail consumed: message delivered
+                    self.owner[lead] = None
+                    m.held.remove(lead)
+                    assert not m.held, "tail consumed while channels still held"
+                    m.finished = self.cycle
+                    self.stats.note_delivered(m)
+                    done = True
+                    break
+        if done:
+            self._active = [mid for mid in self._active if not self.messages[mid].delivered]
+
+    def _phase_traffic(self) -> None:
+        for src, dest, length in self.traffic.messages_for_cycle(self.cycle, self.rng):
+            self.inject_message(src, dest, length)
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance one cycle."""
+        self._phase_traffic()
+        self._phase_allocate()
+        self._phase_transmit()
+        self._phase_eject()
+        interval = self.config.deadlock_check_interval
+        if interval and self.cycle % interval == interval - 1 and self.deadlock is None:
+            report = self.detector.check()
+            if report is not None:
+                self.deadlock = report
+        self.cycle += 1
+
+    def run(self, cycles: int) -> None:
+        """Run for ``cycles`` cycles (stops early on detected deadlock)."""
+        for _ in range(cycles):
+            self.step()
+            if self.deadlock is not None and self.config.stop_on_deadlock:
+                break
+
+    def drain(self, max_cycles: int = 1_000_000) -> bool:
+        """Run with no new traffic until all messages deliver.
+
+        Returns True if the network drained, False on deadlock/timeout.
+        """
+        quiet = _SilentTraffic()
+        saved, self.traffic = self.traffic, quiet
+        try:
+            for _ in range(max_cycles):
+                if not self._active:
+                    return True
+                self.step()
+                if self.deadlock is not None and self.config.stop_on_deadlock:
+                    return False
+            return False
+        finally:
+            self.traffic = saved
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def fail_channel(self, channel: Channel) -> None:
+        """Mark an *idle* link channel faulty (Definition 3's third status).
+
+        Faulty channels are never allocated; adaptive algorithms route
+        around them while nonadaptive ones stall -- the Section 1
+        fault-tolerance motivation for nonminimal routing.  Failing a
+        channel that currently carries a message is not modelled (wormhole
+        fault recovery mid-message is out of the paper's scope), so it
+        raises.
+        """
+        if not channel.is_link:
+            raise ValueError(f"{channel!r} is not a link channel")
+        if self.owner[channel] is not None:
+            raise ValueError(f"{channel!r} is occupied; only idle channels can fail")
+        self.faulty.add(channel)
+
+    def repair_channel(self, channel: Channel) -> None:
+        """Clear a channel's faulty status."""
+        self.faulty.discard(channel)
+
+    def stalled_messages(self) -> list[Message]:
+        """Blocked messages whose every waiting channel is faulty.
+
+        These can never proceed -- not a Definition-12 deadlock (no cycle),
+        but a delivery failure the fault model surfaces explicitly.
+        """
+        return [
+            m for m in self.blocked_messages()
+            if m.waiting_for and all(w in self.faulty for w in m.waiting_for)
+        ]
+
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> list[Message]:
+        return [self.messages[mid] for mid in self._active]
+
+    def blocked_messages(self) -> list[Message]:
+        """Messages currently blocked on a waiting set."""
+        return [m for m in self.in_flight if m.waiting_for is not None]
+
+
+class _SilentTraffic:
+    """No-op traffic source used by :meth:`WormholeSimulator.drain`."""
+
+    def messages_for_cycle(self, cycle: int, rng) -> list[tuple[int, int, int]]:
+        return []

@@ -1,0 +1,70 @@
+"""Latency and throughput statistics for simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .message import Message
+
+
+@dataclass
+class SimStats:
+    """Accumulated counters; summarize with :meth:`summary`.
+
+    Warmup handling is by message *creation* time: :meth:`summary` takes a
+    ``warmup`` cycle count and only messages created at or after it (and
+    delivered) contribute to latency statistics, the standard way to skim
+    off the cold-start transient.
+    """
+
+    offered_flits: int = 0
+    flit_hops: int = 0
+    consumed_flits: int = 0
+    delivered: list[Message] = field(default_factory=list)
+    _consumed_at: list[int] = field(default_factory=list)
+
+    def note_consumed(self, cycle: int) -> None:
+        self.consumed_flits += 1
+        self._consumed_at.append(cycle)
+
+    def note_delivered(self, message: Message) -> None:
+        self.delivered.append(message)
+
+    # ------------------------------------------------------------------
+    def summary(self, *, cycles: int, num_nodes: int, warmup: int = 0) -> "StatsSummary":
+        msgs = [m for m in self.delivered if m.created >= warmup]
+        lat = np.array([m.latency for m in msgs], dtype=float) if msgs else np.array([])
+        net_lat = np.array([m.network_latency for m in msgs], dtype=float) if msgs else np.array([])
+        measured = [t for t in self._consumed_at if t >= warmup]
+        window = max(cycles - warmup, 1)
+        return StatsSummary(
+            messages_delivered=len(msgs),
+            avg_latency=float(lat.mean()) if lat.size else float("nan"),
+            p95_latency=float(np.percentile(lat, 95)) if lat.size else float("nan"),
+            max_latency=float(lat.max()) if lat.size else float("nan"),
+            avg_network_latency=float(net_lat.mean()) if net_lat.size else float("nan"),
+            throughput_flits_per_node_cycle=len(measured) / (window * num_nodes),
+            total_flit_hops=self.flit_hops,
+        )
+
+
+@dataclass
+class StatsSummary:
+    """One run's headline numbers."""
+
+    messages_delivered: int
+    avg_latency: float
+    p95_latency: float
+    max_latency: float
+    avg_network_latency: float
+    throughput_flits_per_node_cycle: float
+    total_flit_hops: int
+
+    def row(self) -> str:
+        return (
+            f"msgs={self.messages_delivered:6d}  lat={self.avg_latency:8.2f}  "
+            f"p95={self.p95_latency:8.2f}  netlat={self.avg_network_latency:8.2f}  "
+            f"thpt={self.throughput_flits_per_node_cycle:.4f}"
+        )

@@ -1,0 +1,36 @@
+"""Interconnection-network substrate: channels, networks, and topology builders.
+
+This package implements Definition 1 of the paper (the strongly connected
+directed multigraph of processors and channels) plus generators for every
+topology the paper touches: n-D meshes, k-ary n-cubes (tori and rings),
+binary hypercubes, and the two bespoke example networks of Figures 1 and 4.
+"""
+
+from .channel import Channel, ChannelKind
+from .examples import FIGURE1_LABELS, build_figure1_network, build_figure4_ring
+from .grid import all_coords, node_coord, node_id, offset_coord
+from .hypercube import build_hypercube, differing_dimensions, hamming_distance
+from .mesh import build_mesh
+from .network import Network, NetworkError, network_from_edges
+from .torus import build_ring, build_torus
+
+__all__ = [
+    "Channel",
+    "ChannelKind",
+    "FIGURE1_LABELS",
+    "Network",
+    "NetworkError",
+    "all_coords",
+    "build_figure1_network",
+    "build_figure4_ring",
+    "build_hypercube",
+    "build_mesh",
+    "build_ring",
+    "build_torus",
+    "differing_dimensions",
+    "hamming_distance",
+    "network_from_edges",
+    "node_coord",
+    "node_id",
+    "offset_coord",
+]

@@ -1,0 +1,98 @@
+"""Channels: the fundamental resource of a wormhole network.
+
+A *channel* in this library is always a unidirectional **virtual** channel
+(Definition 1 of the paper).  A physical link between two routers carries one
+or more virtual channels, each with its own flit buffer; the channel
+dependency graph, the channel waiting graph, and the simulator's resource
+model all operate on virtual channels, never on physical links directly.
+
+Besides ordinary link channels, a network carries one *injection* channel and
+one *ejection* channel per node.  Injection channels model the source queue a
+message occupies before it enters the network ("including the injection
+channel when the message is at the source" -- Definition 10); ejection
+channels model delivery.  Neither kind can participate in a deadlock cycle
+(a message never waits on another message's injection queue, and ejection is
+always consumed by Assumption 2), but injection channels matter when checking
+wait-connectivity at the source.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class ChannelKind(enum.Enum):
+    """Role a channel plays in the network."""
+
+    LINK = "link"
+    INJECTION = "injection"
+    EJECTION = "ejection"
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A unidirectional virtual channel.
+
+    Attributes
+    ----------
+    cid:
+        Dense integer id, unique within a :class:`~repro.topology.network.Network`.
+        Identity, equality, and hashing use only ``cid`` so channels are cheap
+        to place in sets and dicts (the hot paths of every graph algorithm
+        here iterate over channel sets).
+    src, dst:
+        Tail and head nodes: the channel transmits from ``src`` to ``dst``.
+        For injection channels ``src == dst`` (the message starts at the
+        node); likewise for ejection channels.
+    vc:
+        Virtual-channel index on its physical link (0-based).  Injection and
+        ejection channels use ``vc = 0``.
+    kind:
+        :class:`ChannelKind` role.
+    label:
+        Optional human-readable name (e.g. ``"cH0"`` for the paper's
+        Figure-1 example, or ``"+x vc1"`` for a mesh channel).
+    meta:
+        Free-form metadata assigned by topology generators, e.g.
+        ``{"dim": 2, "sign": -1}`` for a mesh channel.  Not hashed.
+    """
+
+    cid: int
+    src: int
+    dst: int
+    vc: int = 0
+    kind: ChannelKind = ChannelKind.LINK
+    label: str = ""
+    meta: dict[str, Any] = field(default_factory=dict, compare=False, hash=False)
+
+    def __hash__(self) -> int:  # identity is the dense id
+        return self.cid
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Channel):
+            return self.cid == other.cid
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        name = self.label or f"c{self.cid}"
+        return f"<{name}:{self.src}->{self.dst}/vc{self.vc}>"
+
+    @property
+    def is_link(self) -> bool:
+        """True for ordinary network channels (the CDG/CWG vertex set)."""
+        return self.kind is ChannelKind.LINK
+
+    @property
+    def is_injection(self) -> bool:
+        return self.kind is ChannelKind.INJECTION
+
+    @property
+    def is_ejection(self) -> bool:
+        return self.kind is ChannelKind.EJECTION
+
+    @property
+    def endpoints(self) -> tuple[int, int]:
+        """``(src, dst)`` pair; the physical link this channel rides on."""
+        return (self.src, self.dst)

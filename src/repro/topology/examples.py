@@ -1,0 +1,94 @@
+"""The paper's bespoke example networks.
+
+Two networks appear in the text with hand-drawn figures:
+
+* **Figure 1** -- Duato's incoherent-routing example: four nodes in a line
+  with "high" rightward channels ``cH0, cH1, cH2``, "low" leftward channels
+  ``cL1, cL2, cL3``, an extra rightward channel ``cA1`` on link ``n1 -> n2``
+  and an extra leftward channel ``cB2`` on link ``n2 -> n1``.
+
+* **Figure 4** -- a ten-node clockwise ring (1D torus) with four virtual
+  channels per physical link plus a fifth virtual channel ``cA`` on the link
+  ``n8 -> n9``, used to demonstrate a False Resource Cycle under minimal
+  routing.
+
+The routing algorithms that ride on these networks live in
+:mod:`repro.routing.incoherent` and :mod:`repro.routing.ring_example`; the
+builders here only create the channel structure, with stable labels matching
+the paper so tests and benchmarks can refer to ``cA1`` etc. directly.
+"""
+
+from __future__ import annotations
+
+from .network import Network
+
+#: Labels of the Figure-1 channels, in cid order, for reference in tests.
+FIGURE1_LABELS = ("cH0", "cH1", "cH2", "cL1", "cL2", "cL3", "cA1", "cB2")
+
+
+def build_figure1_network() -> Network:
+    """Duato's 4-node incoherent-example network (paper Figure 1).
+
+    Channels (labels match the paper):
+
+    ========  ===========  =======================================
+    label     link         role
+    ========  ===========  =======================================
+    ``cH0``   n0 -> n1     minimal rightward
+    ``cH1``   n1 -> n2     minimal rightward
+    ``cH2``   n2 -> n3     minimal rightward
+    ``cL1``   n1 -> n0     minimal leftward
+    ``cL2``   n2 -> n1     minimal leftward
+    ``cL3``   n3 -> n2     minimal leftward
+    ``cA1``   n1 -> n2     detour channel, dest-``n0`` messages only
+    ``cB2``   n2 -> n1     extra leftward, dest-``n0`` messages only
+    ========  ===========  =======================================
+    """
+    net = Network("figure1")
+    net.add_nodes(4)
+    net.meta.update(topology="figure1")
+    for n in range(4):
+        net.coords[n] = (n,)
+    net.add_channel(0, 1, vc=0, label="cH0", dim=0, sign=+1)
+    net.add_channel(1, 2, vc=0, label="cH1", dim=0, sign=+1)
+    net.add_channel(2, 3, vc=0, label="cH2", dim=0, sign=+1)
+    net.add_channel(1, 0, vc=0, label="cL1", dim=0, sign=-1)
+    net.add_channel(2, 1, vc=0, label="cL2", dim=0, sign=-1)
+    net.add_channel(3, 2, vc=0, label="cL3", dim=0, sign=-1)
+    net.add_channel(1, 2, vc=1, label="cA1", dim=0, sign=+1, detour=True)
+    net.add_channel(2, 1, vc=1, label="cB2", dim=0, sign=-1, extra=True)
+    return net.freeze()
+
+
+def build_figure4_ring(size: int = 10, *, num_vcs: int = 4, extra_link: tuple[int, int] = (8, 9)) -> Network:
+    """The Figure-4 clockwise ring: ``num_vcs`` VCs per link plus one extra.
+
+    Every physical link ``i -> (i+1) % size`` carries virtual channels
+    ``0 .. num_vcs-1``; the link named by ``extra_link`` carries one more,
+    labelled ``cA``.  Metadata marks the wrap-around link (``size-1 -> 0``)
+    so level-switching routing schemes can detect the dateline.
+    """
+    if size < 3:
+        raise ValueError("figure-4 ring needs at least 3 nodes")
+    if extra_link[1] != (extra_link[0] + 1) % size:
+        raise ValueError(f"extra_link {extra_link} is not a clockwise ring link")
+    net = Network(f"figure4-ring({size})")
+    net.add_nodes(size)
+    net.meta.update(topology="figure4", dims=(size,), num_vcs=num_vcs, extra_link=extra_link)
+    for src in range(size):
+        net.coords[src] = (src,)
+        dst = (src + 1) % size
+        wrap = src == size - 1
+        for vc in range(num_vcs):
+            net.add_channel(
+                src, dst, vc=vc,
+                label=f"c{vc},{src}->{dst}",
+                dim=0, sign=+1, wrap=wrap,
+            )
+        if (src, dst) == tuple(extra_link):
+            net.add_channel(
+                src, dst, vc=num_vcs,
+                label="cA",
+                dim=0, sign=+1, wrap=wrap, extra=True,
+            )
+    return net.freeze()

@@ -1,0 +1,57 @@
+"""Shared coordinate machinery for grid-like topologies (mesh, torus, cube).
+
+Nodes of every grid topology are numbered in mixed-radix order: for dims
+``(d0, d1, ..., dk-1)`` the node at coordinate ``(x0, ..., xk-1)`` has id
+``x0 + d0*(x1 + d1*(x2 + ...))`` -- dimension 0 is the fastest-varying digit.
+This matches the convention of the paper's hypercube section, where the bit
+for dimension ``i`` is bit ``i`` of the node id.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def node_id(coord: Sequence[int], dims: Sequence[int]) -> int:
+    """Mixed-radix encoding of ``coord`` under radices ``dims``."""
+    if len(coord) != len(dims):
+        raise ValueError(f"coordinate {tuple(coord)} has wrong arity for dims {tuple(dims)}")
+    nid = 0
+    for x, d in zip(reversed(coord), reversed(dims)):
+        if not 0 <= x < d:
+            raise ValueError(f"coordinate {tuple(coord)} out of range for dims {tuple(dims)}")
+        nid = nid * d + x
+    return nid
+
+
+def node_coord(nid: int, dims: Sequence[int]) -> tuple[int, ...]:
+    """Inverse of :func:`node_id`."""
+    coord = []
+    for d in dims:
+        coord.append(nid % d)
+        nid //= d
+    if nid:
+        raise ValueError("node id out of range")
+    return tuple(coord)
+
+
+def all_coords(dims: Sequence[int]):
+    """Yield every coordinate of the grid in node-id order."""
+    total = 1
+    for d in dims:
+        total *= d
+    for nid in range(total):
+        yield node_coord(nid, dims)
+
+
+def offset_coord(coord: Sequence[int], dim: int, step: int, dims: Sequence[int], *, wrap: bool) -> tuple[int, ...] | None:
+    """Move one hop along ``dim``; returns None if it falls off a mesh edge."""
+    x = coord[dim] + step
+    d = dims[dim]
+    if wrap:
+        x %= d
+    elif not 0 <= x < d:
+        return None
+    out = list(coord)
+    out[dim] = x
+    return tuple(out)

@@ -1,0 +1,65 @@
+"""Binary hypercube topologies (2-ary n-cubes).
+
+Node ids are the natural bit strings of Section 9.3: bit ``i`` of the node id
+is the coordinate in dimension ``i``.  A message routes "in the positive
+direction of dimension i" when its source bit is 0 and destination bit is 1,
+matching the paper's convention.
+
+Channel labels follow the paper's Figure-6 notation ``c{vc+1},{dim}{src}``
+is unwieldy for general n, so we use ``c{vc+1},{+|-}{dim}@{src}`` like the
+mesh/torus builders; metadata carries ``dim`` and ``sign`` (+1 when the
+channel flips a 0 bit to 1).
+"""
+
+from __future__ import annotations
+
+from .network import Network
+
+
+def build_hypercube(dimension: int, *, num_vcs: int = 1, name: str | None = None) -> Network:
+    """Build an n-dimensional binary hypercube.
+
+    Every physical link carries ``num_vcs`` virtual channels.  The Enhanced
+    Fully Adaptive algorithm of Section 9.3 uses ``num_vcs=2``.
+    """
+    if dimension < 1:
+        raise ValueError("hypercube dimension must be >= 1")
+    if num_vcs < 1:
+        raise ValueError("num_vcs must be >= 1")
+    net = Network(name or f"hypercube({dimension})")
+    total = 1 << dimension
+    net.add_nodes(total)
+    net.meta.update(topology="hypercube", dimension=dimension, dims=(2,) * dimension, num_vcs=num_vcs)
+    for src in range(total):
+        net.coords[src] = tuple((src >> i) & 1 for i in range(dimension))
+        for dim in range(dimension):
+            dst = src ^ (1 << dim)
+            sign = +1 if not (src >> dim) & 1 else -1
+            for vc in range(num_vcs):
+                net.add_channel(
+                    src,
+                    dst,
+                    vc=vc,
+                    label=f"c{vc + 1},{'+' if sign > 0 else '-'}{dim}@{src}",
+                    dim=dim,
+                    sign=sign,
+                )
+    return net.freeze()
+
+
+def hamming_distance(a: int, b: int) -> int:
+    """Hop distance between hypercube nodes ``a`` and ``b``."""
+    return (a ^ b).bit_count()
+
+
+def differing_dimensions(a: int, b: int) -> list[int]:
+    """Dimensions in which ``a`` and ``b`` differ, ascending."""
+    x = a ^ b
+    dims = []
+    d = 0
+    while x:
+        if x & 1:
+            dims.append(d)
+        x >>= 1
+        d += 1
+    return dims

@@ -1,0 +1,63 @@
+"""n-dimensional mesh topologies.
+
+A mesh has no wrap-around channels; each physical link carries ``num_vcs``
+virtual channels in each direction.  Channel metadata records the dimension,
+direction sign, and VC index so routing algorithms can express rules like
+"the positive channel of the lowest dimension" without re-deriving geometry.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from . import grid
+from .network import Network
+
+
+def build_mesh(dims: Sequence[int], *, num_vcs: int = 1, name: str | None = None) -> Network:
+    """Build an n-D mesh with ``num_vcs`` virtual channels per direction.
+
+    Parameters
+    ----------
+    dims:
+        Side lengths, e.g. ``(4, 4)`` for a 4x4 2D mesh.  Every entry must be
+        at least 1; dimensions of length 1 are allowed (and contribute no
+        channels).
+    num_vcs:
+        Virtual channels per unidirectional physical link.
+
+    Channel metadata: ``dim`` (dimension index), ``sign`` (+1 / -1 travel
+    direction), and the channel's ``vc`` field is its VC index on the link.
+    Labels follow the paper's hypercube convention generalized to meshes:
+    ``c{vc+1},{sign}{dim}@{src}`` e.g. ``c1,+0@5``.
+    """
+    dims = tuple(int(d) for d in dims)
+    if not dims or any(d < 1 for d in dims):
+        raise ValueError(f"invalid mesh dims {dims}")
+    if num_vcs < 1:
+        raise ValueError("num_vcs must be >= 1")
+    net = Network(name or f"mesh{dims}")
+    total = 1
+    for d in dims:
+        total *= d
+    net.add_nodes(total)
+    net.meta.update(topology="mesh", dims=dims, num_vcs=num_vcs, wrap=False)
+    for coord in grid.all_coords(dims):
+        src = grid.node_id(coord, dims)
+        net.coords[src] = coord
+        for dim in range(len(dims)):
+            for sign in (+1, -1):
+                nbr = grid.offset_coord(coord, dim, sign, dims, wrap=False)
+                if nbr is None:
+                    continue
+                dst = grid.node_id(nbr, dims)
+                for vc in range(num_vcs):
+                    net.add_channel(
+                        src,
+                        dst,
+                        vc=vc,
+                        label=f"c{vc + 1},{'+' if sign > 0 else '-'}{dim}@{src}",
+                        dim=dim,
+                        sign=sign,
+                    )
+    return net.freeze()

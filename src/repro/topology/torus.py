@@ -1,0 +1,82 @@
+"""k-ary n-cube (torus) topologies, including rings (1D tori).
+
+A torus is a mesh with wrap-around channels.  Channel metadata additionally
+records ``wrap=True`` on wrap-around channels (from coordinate ``d-1`` to
+``0`` in the positive direction or ``0`` to ``d-1`` in the negative), which
+Dally--Seitz-style virtual-channel schemes key their VC switch on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from . import grid
+from .network import Network
+
+
+def build_torus(dims: Sequence[int], *, num_vcs: int = 1, name: str | None = None) -> Network:
+    """Build a k-ary n-cube with ``num_vcs`` VCs per unidirectional link.
+
+    Radix-2 dimensions get a single pair of channels between the two nodes
+    (not a double link), and radix-1 dimensions contribute nothing.
+    """
+    dims = tuple(int(d) for d in dims)
+    if not dims or any(d < 1 for d in dims):
+        raise ValueError(f"invalid torus dims {dims}")
+    if num_vcs < 1:
+        raise ValueError("num_vcs must be >= 1")
+    net = Network(name or f"torus{dims}")
+    total = 1
+    for d in dims:
+        total *= d
+    net.add_nodes(total)
+    net.meta.update(topology="torus", dims=dims, num_vcs=num_vcs, wrap=True)
+    for coord in grid.all_coords(dims):
+        src = grid.node_id(coord, dims)
+        net.coords[src] = coord
+        for dim, radix in enumerate(dims):
+            if radix == 1:
+                continue
+            signs: tuple[int, ...] = (+1, -1) if radix > 2 else (+1,)
+            for sign in signs:
+                nbr = grid.offset_coord(coord, dim, sign, dims, wrap=True)
+                assert nbr is not None
+                dst = grid.node_id(nbr, dims)
+                wrap = (sign > 0 and coord[dim] == radix - 1) or (sign < 0 and coord[dim] == 0)
+                for vc in range(num_vcs):
+                    net.add_channel(
+                        src,
+                        dst,
+                        vc=vc,
+                        label=f"c{vc + 1},{'+' if sign > 0 else '-'}{dim}@{src}",
+                        dim=dim,
+                        sign=sign,
+                        wrap=wrap,
+                    )
+    return net.freeze()
+
+
+def build_ring(size: int, *, num_vcs: int = 1, bidirectional: bool = True, name: str | None = None) -> Network:
+    """Build a ring of ``size`` nodes.
+
+    With ``bidirectional=False`` only clockwise channels (node ``i`` to
+    ``(i+1) % size``) exist, matching the paper's Figure-4 setting.
+    """
+    if size < 2:
+        raise ValueError("ring needs at least 2 nodes")
+    if bidirectional:
+        return build_torus((size,), num_vcs=num_vcs, name=name or f"ring({size})")
+    net = Network(name or f"ring({size},cw)")
+    net.add_nodes(size)
+    net.meta.update(topology="ring", dims=(size,), num_vcs=num_vcs, wrap=True, unidirectional=True)
+    for src in range(size):
+        net.coords[src] = (src,)
+        dst = (src + 1) % size
+        wrap = src == size - 1
+        for vc in range(num_vcs):
+            net.add_channel(
+                src, dst, vc=vc,
+                label=f"c{vc + 1},+0@{src}",
+                dim=0, sign=+1, wrap=wrap,
+            )
+    return net.freeze()

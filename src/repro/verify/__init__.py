@@ -1,0 +1,39 @@
+"""Deadlock-freedom verifiers.
+
+Three generations of theory, all mechanized:
+
+* :func:`~repro.verify.dally_seitz.dally_seitz` -- acyclic CDG (1987);
+* :func:`~repro.verify.duato.duato_condition` / ``search_escape`` --
+  Duato's extended-CDG condition (the titled ICPP'94 paper);
+* :func:`~repro.verify.necsuf.theorem1/2/3` / ``verify`` -- the channel
+  waiting graph condition of the supplied text, applicable to any routing
+  relation using local information.
+"""
+
+from .dally_seitz import dally_seitz, is_nonadaptive
+from .duato import applicability, duato_condition, search_escape
+from .necsuf import (
+    DeadlockConfiguration,
+    deadlock_configuration,
+    theorem1,
+    theorem2,
+    theorem3,
+    verify,
+)
+from .report import VerificationError, Verdict
+
+__all__ = [
+    "DeadlockConfiguration",
+    "VerificationError",
+    "Verdict",
+    "applicability",
+    "dally_seitz",
+    "deadlock_configuration",
+    "duato_condition",
+    "is_nonadaptive",
+    "search_escape",
+    "theorem1",
+    "theorem2",
+    "theorem3",
+    "verify",
+]

@@ -1,0 +1,338 @@
+"""The paper's necessary-and-sufficient condition (Theorems 1, 2, 3).
+
+* :func:`theorem1` -- sufficiency: wait-connected + acyclic CWG.
+* :func:`theorem2` -- iff, for algorithms that wait on a **specific**
+  channel: wait-connected and the CWG has no True Cycles.
+* :func:`theorem3` -- iff, for algorithms that wait on **any** permitted
+  channel: some wait-connected subgraph CWG' has no True Cycles (found by
+  the Section 8 reduction).
+* :func:`verify` -- dispatches on the algorithm's :class:`WaitPolicy`.
+
+When a True Cycle exists under Theorem 2, the verdict's evidence includes
+the witness produced by the Section 7.2 classifier -- the per-edge message
+segments from which the Theorem 2 necessity proof constructs a reachable
+deadlock configuration; :func:`deadlock_configuration` turns that witness
+into an explicit Definition 12 configuration the simulator tests replay.
+
+UNDETERMINED cycle classifications (the corner Section 7.2 leaves open) are
+treated as True: a verdict of "deadlock-free" is only ever issued when every
+cycle is *provably* a False Resource Cycle, so unsoundness is impossible;
+at worst the verifier is incomplete and says so in the verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.cwg import ChannelWaitingGraph, wait_connected
+from ..core.cycles import find_cycles, find_one_cycle
+from ..core.false_cycles import CycleClass, CycleClassifier, Segment
+from ..core.reduction import CWGReducer
+from ..routing.relation import RoutingAlgorithm, WaitPolicy
+from ..topology.channel import Channel
+from .report import Verdict
+
+
+@dataclass
+class DeadlockConfiguration:
+    """An explicit Definition 12 deadlock configuration.
+
+    ``messages[i]`` holds ``held[i]`` (in acquisition order) and waits on
+    ``waits_on[i]``, which is held by message ``(i + 1) % n``.
+    """
+
+    sources: list[int]
+    dests: list[int]
+    held: list[tuple[Channel, ...]]
+    waits_on: list[Channel]
+
+    def __len__(self) -> int:
+        return len(self.dests)
+
+    def describe(self) -> str:
+        lines = []
+        for i in range(len(self.dests)):
+            chain = ", ".join(c.label or f"c{c.cid}" for c in self.held[i])
+            w = self.waits_on[i]
+            lines.append(
+                f"m{i + 1}: {self.sources[i]} -> {self.dests[i]}, holds [{chain}], "
+                f"waits on {w.label or w.cid}"
+            )
+        return "\n".join(lines)
+
+
+def deadlock_configuration(witness: list[Segment]) -> DeadlockConfiguration:
+    """Build the Definition 12 configuration from a True Cycle witness."""
+    return DeadlockConfiguration(
+        sources=[seg.path[0].src for seg in witness],
+        dests=[seg.dest for seg in witness],
+        held=[seg.path for seg in witness],
+        waits_on=[seg.waits_on for seg in witness],
+    )
+
+
+# ----------------------------------------------------------------------
+# Theorem 1: sufficiency via an acyclic CWG
+# ----------------------------------------------------------------------
+def theorem1(algorithm: RoutingAlgorithm, *, cwg: ChannelWaitingGraph | None = None) -> Verdict:
+    """Theorem 1: wait-connected + acyclic CWG => deadlock-free."""
+    cwg = cwg or ChannelWaitingGraph(algorithm)
+    wc, why = wait_connected(algorithm, transitions=cwg.transitions)
+    if not wc:
+        return Verdict(algorithm.name, "Theorem 1", False, necessary_and_sufficient=False,
+                       reason=f"not wait-connected: {why}")
+    cycle = find_one_cycle(cwg.graph())
+    if cycle is None:
+        return Verdict(algorithm.name, "Theorem 1", True, necessary_and_sufficient=False,
+                       reason="wait-connected and CWG is acyclic",
+                       evidence={"cwg_edges": len(cwg)})
+    return Verdict(algorithm.name, "Theorem 1", False, necessary_and_sufficient=False,
+                   reason=f"CWG has a cycle {cycle!r} (apply Theorem 2/3 to classify it)",
+                   evidence={"cycle": cycle, "cwg_edges": len(cwg)})
+
+
+# ----------------------------------------------------------------------
+# Theorem 2: iff, specific-waiting algorithms
+# ----------------------------------------------------------------------
+def theorem2(
+    algorithm: RoutingAlgorithm,
+    *,
+    cwg: ChannelWaitingGraph | None = None,
+    enumerate_cycles: bool = False,
+    cycle_limit: int | None = 100_000,
+    max_nodes: int = 2_000_000,
+) -> Verdict:
+    """Theorem 2: (specific-waiting) deadlock-free iff wait-connected and
+    the CWG has no True Cycles.
+
+    By default True Cycles are found (or refuted) with the direct
+    segment-chain search of :class:`~repro.core.deadlock_search.TrueCycleSearch`,
+    which stays feasible when the CWG has a huge number of simple cycles.
+    ``enumerate_cycles=True`` switches to enumerate-then-classify (Section
+    7.2 applied cycle by cycle) and reports the full cycle census in the
+    evidence -- what the figure benchmarks use on the small examples.
+    """
+    cwg = cwg or ChannelWaitingGraph(algorithm)
+    wc, why = wait_connected(algorithm, transitions=cwg.transitions)
+    if not wc:
+        return Verdict(algorithm.name, "Theorem 2", False,
+                       reason=f"not wait-connected: {why}")
+    graph = cwg.graph()
+    if find_one_cycle(graph) is None:
+        return Verdict(algorithm.name, "Theorem 2", True,
+                       reason="wait-connected and CWG is acyclic",
+                       evidence={"cwg_edges": len(cwg), "cycles": 0})
+    if enumerate_cycles:
+        return _theorem2_enumerated(algorithm, cwg, cycle_limit)
+
+    from ..core.deadlock_search import TrueCycleSearch
+
+    outcome = TrueCycleSearch(cwg, max_nodes=max_nodes).search()
+    if outcome.true_cycle is not None:
+        cls = outcome.true_cycle
+        return Verdict(
+            algorithm.name, "Theorem 2", False,
+            reason=f"True Cycle {cls.cycle!r}: a reachable deadlock configuration exists",
+            evidence={
+                "cycle": cls.cycle,
+                "classification": cls,
+                "deadlock_configuration": deadlock_configuration(cls.witness),
+            },
+        )
+    if outcome.undetermined:
+        cls = outcome.undetermined[0]
+        return Verdict(
+            algorithm.name, "Theorem 2", False, necessary_and_sufficient=False,
+            reason=f"cycle {cls.cycle!r} could not be proved False Resource: {cls.reason}",
+            evidence={"classification": cls},
+        )
+    if not outcome.exhaustive:
+        return Verdict(
+            algorithm.name, "Theorem 2", False, necessary_and_sufficient=False,
+            reason="search budget exhausted before proving absence of True Cycles",
+            evidence={"nodes_explored": outcome.nodes_explored},
+        )
+    return Verdict(
+        algorithm.name, "Theorem 2", True,
+        reason="wait-connected; CWG is cyclic but every cycle is a False Resource Cycle",
+        evidence={"cwg_edges": len(cwg), "nodes_explored": outcome.nodes_explored},
+    )
+
+
+def _theorem2_enumerated(
+    algorithm: RoutingAlgorithm,
+    cwg: ChannelWaitingGraph,
+    cycle_limit: int | None,
+) -> Verdict:
+    """Enumerate-and-classify variant of Theorem 2 (full cycle census)."""
+    cycles = find_cycles(cwg.graph(), limit=cycle_limit)
+    classifier = CycleClassifier(cwg)
+    n_false = 0
+    for cy in cycles:
+        cls = classifier.classify(cy)
+        if cls.kind is CycleClass.FALSE_RESOURCE:
+            n_false += 1
+            continue
+        if cls.kind is CycleClass.UNDETERMINED:
+            return Verdict(
+                algorithm.name, "Theorem 2", False, necessary_and_sufficient=False,
+                reason=f"cycle {cy!r} could not be proved False Resource: {cls.reason}",
+                evidence={"cycle": cy, "classification": cls, "cycles": len(cycles)},
+            )
+        config = deadlock_configuration(cls.witness)
+        return Verdict(
+            algorithm.name, "Theorem 2", False,
+            reason=f"True Cycle {cy!r}: a reachable deadlock configuration exists",
+            evidence={
+                "cycle": cy,
+                "classification": cls,
+                "deadlock_configuration": config,
+                "false_cycles_skipped": n_false,
+                "cycles": len(cycles),
+            },
+        )
+    return Verdict(
+        algorithm.name, "Theorem 2", True,
+        reason=f"wait-connected; all {len(cycles)} CWG cycles are False Resource Cycles",
+        evidence={"cwg_edges": len(cwg), "cycles": len(cycles), "false_cycles": n_false},
+    )
+
+
+# ----------------------------------------------------------------------
+# Theorem 3: iff, any-waiting algorithms
+# ----------------------------------------------------------------------
+def theorem3(
+    algorithm: RoutingAlgorithm,
+    *,
+    cwg: ChannelWaitingGraph | None = None,
+    cycle_limit: int | None = 100_000,
+    max_nodes: int = 2_000_000,
+) -> Verdict:
+    """Theorem 3: (any-waiting) deadlock-free iff some wait-connected CWG'
+    has no True Cycles (searched with the Section 8 reduction).
+
+    Before attempting the full reduction, a fast sound *negative* check
+    runs: a True Cycle whose every blocked message has a single waiting
+    channel deadlocks even under wait-on-ANY semantics and survives every
+    CWG' (its edges are irremovable without breaking wait-connectivity), so
+    finding one settles the question without enumerating cycles.
+    """
+    cwg = cwg or ChannelWaitingGraph(algorithm)
+    wc, why = wait_connected(algorithm, transitions=cwg.transitions)
+    if not wc:
+        return Verdict(algorithm.name, "Theorem 3", False,
+                       reason=f"not wait-connected: {why}")
+    if find_one_cycle(cwg.graph()) is None:
+        return Verdict(algorithm.name, "Theorem 3", True,
+                       reason="wait-connected and CWG is acyclic (CWG' = CWG)",
+                       evidence={"cwg_edges": len(cwg)})
+
+    from ..core.cycles import CycleExplosion
+    from ..core.deadlock_search import TrueCycleSearch
+
+    fast = TrueCycleSearch(cwg, max_nodes=max_nodes, single_wait_only=True).search()
+    if fast.true_cycle is not None:
+        cls = fast.true_cycle
+        return Verdict(
+            algorithm.name, "Theorem 3", False,
+            reason=(
+                f"True Cycle {cls.cycle!r} of single-waiting-channel states: "
+                "it survives every wait-connected CWG'"
+            ),
+            evidence={
+                "cycle": cls.cycle,
+                "classification": cls,
+                "deadlock_configuration": deadlock_configuration(cls.witness),
+            },
+        )
+
+    # Fast positive path: try narrowed per-state waiting disciplines as
+    # CWG' candidates.  Any per-state selection w(c_in, d) from the waiting
+    # sets induces a wait-connected CWG' (Definition 10 holds by
+    # construction); if its closure has no True Cycles, Theorem 3 certifies
+    # the algorithm without enumerating the full CWG's cycles.  (This is
+    # exactly how the paper handles the wait-on-any variants of its Section
+    # 9 algorithms: "CWG' is restricted to the first virtual channel in the
+    # lowest dimension".)
+    for label, key in (
+        ("lowest VC class", lambda c: (c.vc, c.cid)),
+        ("lowest cid", lambda c: c.cid),
+    ):
+        narrowed = _NarrowedWaiting(algorithm, key)
+        ncwg = ChannelWaitingGraph(narrowed)
+        if find_one_cycle(ncwg.graph()) is None:
+            return Verdict(
+                algorithm.name, "Theorem 3", True,
+                reason=f"wait-connected CWG' with acyclic closure found (waiting narrowed to {label})",
+                evidence={"cwg_edges": len(cwg), "cwg_prime_edges": len(ncwg)},
+            )
+        outcome = TrueCycleSearch(ncwg, max_nodes=max_nodes).search()
+        if outcome.proves_no_true_cycle:
+            return Verdict(
+                algorithm.name, "Theorem 3", True,
+                reason=(
+                    f"wait-connected CWG' with no True Cycles found "
+                    f"(waiting narrowed to {label})"
+                ),
+                evidence={"cwg_edges": len(cwg), "cwg_prime_edges": len(ncwg)},
+            )
+
+    reducer = CWGReducer(cwg, cycle_limit=cycle_limit)
+    try:
+        result = reducer.run()
+    except CycleExplosion as exc:
+        return Verdict(
+            algorithm.name, "Theorem 3", False, necessary_and_sufficient=False,
+            reason=f"Section 8 reduction infeasible: {exc}",
+            evidence={"cwg_edges": len(cwg)},
+        )
+    if result.success:
+        return Verdict(
+            algorithm.name, "Theorem 3", True,
+            reason=(
+                "wait-connected CWG' with no True Cycles found "
+                f"({len(result.removed)} edges removed, "
+                f"{len(result.true_cycles)} True Cycles resolved, "
+                f"{len(result.false_cycles)} False Resource Cycles ignored)"
+            ),
+            evidence={"reduction": result, "cwg_edges": len(cwg)},
+        )
+    return Verdict(
+        algorithm.name, "Theorem 3", False,
+        reason=result.reason,
+        evidence={"reduction": result},
+    )
+
+
+class _NarrowedWaiting(RoutingAlgorithm):
+    """A per-state single-waiting-channel narrowing of an algorithm.
+
+    Same routing relation; the waiting set at every state is collapsed to
+    the minimum element under ``key``.  Used by Theorem 3 as a cheap CWG'
+    candidate generator.
+    """
+
+    def __init__(self, inner: RoutingAlgorithm, key) -> None:
+        super().__init__(inner.network)
+        self.inner = inner
+        self.key = key
+        self.name = f"{inner.name}#narrowed"
+        self.form = inner.form
+        self.wait_policy = WaitPolicy.SPECIFIC
+
+    def route(self, c_in, node, dest):
+        return self.inner.route(c_in, node, dest)
+
+    def waiting_channels(self, c_in, node, dest):
+        waits = self.inner.waiting_channels(c_in, node, dest)
+        if not waits:
+            return waits
+        return frozenset([min(waits, key=self.key)])
+
+
+# ----------------------------------------------------------------------
+def verify(algorithm: RoutingAlgorithm, **kwargs) -> Verdict:
+    """Apply the paper's condition matching the algorithm's wait policy."""
+    if algorithm.wait_policy is WaitPolicy.SPECIFIC:
+        return theorem2(algorithm, **kwargs)
+    return theorem3(algorithm, **kwargs)

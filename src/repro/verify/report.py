@@ -1,0 +1,45 @@
+"""Verification reports: structured verdicts with evidence.
+
+Every verifier returns a :class:`Verdict` carrying the boolean answer, the
+condition applied, and the evidence (a witness cycle and deadlock
+configuration sketch when unsafe; graph statistics and -- where relevant --
+the CWG' or escape layer when safe), so benchmarks and examples can print
+the same tables regardless of which condition ran.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Verdict:
+    """Outcome of a deadlock-freedom verification."""
+
+    algorithm: str
+    condition: str
+    deadlock_free: bool
+    #: authoritative ("iff") or merely sufficient/not-applicable
+    necessary_and_sufficient: bool = True
+    reason: str = ""
+    #: free-form structured evidence (cycle witnesses, edge counts, ...)
+    evidence: dict[str, Any] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.deadlock_free
+
+    def summary(self) -> str:
+        verdict = "DEADLOCK-FREE" if self.deadlock_free else "NOT deadlock-free"
+        strength = "iff" if self.necessary_and_sufficient else "sufficient-only"
+        line = f"[{self.condition}] {self.algorithm}: {verdict} ({strength})"
+        if self.reason:
+            line += f" -- {self.reason}"
+        return line
+
+    def __str__(self) -> str:
+        return self.summary()
+
+
+class VerificationError(RuntimeError):
+    """Raised when a condition is applied outside its hypotheses."""

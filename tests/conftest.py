@@ -1,0 +1,68 @@
+"""Shared fixtures: the networks and routing algorithms used across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology import (
+    build_figure1_network,
+    build_figure4_ring,
+    build_hypercube,
+    build_mesh,
+    build_torus,
+)
+
+
+@pytest.fixture(scope="session")
+def mesh33():
+    return build_mesh((3, 3))
+
+
+@pytest.fixture(scope="session")
+def mesh44():
+    return build_mesh((4, 4))
+
+
+@pytest.fixture(scope="session")
+def mesh33_2vc():
+    return build_mesh((3, 3), num_vcs=2)
+
+
+@pytest.fixture(scope="session")
+def mesh332():
+    return build_mesh((3, 3, 2))
+
+
+@pytest.fixture(scope="session")
+def cube3():
+    return build_hypercube(3, num_vcs=1)
+
+
+@pytest.fixture(scope="session")
+def cube3_2vc():
+    return build_hypercube(3, num_vcs=2)
+
+
+@pytest.fixture(scope="session")
+def cube4_2vc():
+    return build_hypercube(4, num_vcs=2)
+
+
+@pytest.fixture(scope="session")
+def torus44_3vc():
+    return build_torus((4, 4), num_vcs=3)
+
+
+@pytest.fixture(scope="session")
+def torus5_2vc():
+    return build_torus((5,), num_vcs=2)
+
+
+@pytest.fixture(scope="session")
+def figure1():
+    return build_figure1_network()
+
+
+@pytest.fixture(scope="session")
+def figure4():
+    return build_figure4_ring()

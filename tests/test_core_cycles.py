@@ -1,0 +1,81 @@
+"""Cycle enumeration and canonicalization."""
+
+import networkx as nx
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import Cycle, CycleExplosion, find_cycles, find_one_cycle, has_cycle
+from repro.topology import Channel
+
+
+def chans(n):
+    return [Channel(cid=i, src=0, dst=1) for i in range(n)]
+
+
+class TestCycle:
+    def test_canonical_rotation(self):
+        a, b, c = chans(3)
+        assert Cycle.from_nodes([b, c, a]) == Cycle.from_nodes([a, b, c])
+        assert Cycle.from_nodes([c, a, b]) == Cycle.from_nodes([a, b, c])
+
+    def test_edges_wrap(self):
+        a, b = chans(2)
+        cy = Cycle.from_nodes([a, b])
+        assert cy.edges == ((a, b), (b, a))
+
+    def test_self_loop(self):
+        (a,) = chans(1)
+        cy = Cycle.from_nodes([a])
+        assert cy.edges == ((a, a),)
+        assert len(cy) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Cycle.from_nodes([])
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=7))
+    def test_rotation_invariance_property(self, n, k):
+        cs = chans(n)
+        rotated = cs[k % n:] + cs[:k % n]
+        assert Cycle.from_nodes(rotated) == Cycle.from_nodes(cs)
+
+
+class TestEnumeration:
+    def graph(self, edges, n=6):
+        cs = chans(n)
+        g = nx.DiGraph()
+        g.add_nodes_from(cs)
+        for i, j in edges:
+            g.add_edge(cs[i], cs[j])
+        return g, cs
+
+    def test_finds_all_simple_cycles(self):
+        g, cs = self.graph([(0, 1), (1, 0), (1, 2), (2, 1), (2, 2)])
+        cycles = find_cycles(g)
+        assert len(cycles) == 3
+        assert cycles[0] == Cycle.from_nodes([cs[2]])  # shortest first
+
+    def test_acyclic(self):
+        g, _ = self.graph([(0, 1), (1, 2), (0, 2)])
+        assert find_cycles(g) == []
+        assert not has_cycle(g)
+        assert find_one_cycle(g) is None
+
+    def test_has_cycle_and_witness(self):
+        g, cs = self.graph([(0, 1), (1, 2), (2, 0)])
+        assert has_cycle(g)
+        w = find_one_cycle(g)
+        assert w is not None and len(w) == 3
+
+    def test_explosion_limit(self):
+        # complete digraph on 8 vertices has thousands of simple cycles
+        cs = chans(8)
+        g = nx.DiGraph()
+        for a in cs:
+            for b in cs:
+                if a != b:
+                    g.add_edge(a, b)
+        with pytest.raises(CycleExplosion):
+            find_cycles(g, limit=100)
+        assert len(find_cycles(g, limit=None)) > 100

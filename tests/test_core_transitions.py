@@ -1,0 +1,70 @@
+"""Per-destination routing-state graphs (the substrate of all graph theory)."""
+
+from repro.core import DestinationTransitions, TransitionCache
+from repro.routing import DimensionOrderMesh, IncoherentExample
+from repro.topology import build_mesh
+
+
+class TestFigure1:
+    def setup_method(self):
+        from repro.topology import build_figure1_network
+
+        self.net = build_figure1_network()
+        self.ra = IncoherentExample(self.net)
+        self.by = self.net.channel_by_label
+
+    def test_usable_channels_for_dest0(self):
+        dt = DestinationTransitions(self.ra, 0)
+        labels = {c.label for c in dt.usable}
+        # every leftward channel plus the detour channels; no rightward cH*
+        assert labels == {"cL1", "cL2", "cL3", "cA1", "cB2"}
+
+    def test_usable_channels_for_dest3(self):
+        dt = DestinationTransitions(self.ra, 3)
+        assert {c.label for c in dt.usable} == {"cH0", "cH1", "cH2"}
+
+    def test_succ_respects_relation(self):
+        dt = DestinationTransitions(self.ra, 0)
+        assert dt.succ[self.by("cA1")] == frozenset([self.by("cL2"), self.by("cB2")])
+        assert dt.succ[self.by("cL2")] == frozenset([self.by("cL1"), self.by("cA1")])
+
+    def test_delivered_states_have_no_succ(self):
+        dt = DestinationTransitions(self.ra, 0)
+        assert dt.succ[self.by("cL1")] == frozenset()
+
+    def test_downstream_wait_closure(self):
+        dt = DestinationTransitions(self.ra, 0)
+        down = dt.downstream_wait
+        # from cL3 every waiting channel of the detour loop is downstream
+        assert {c.label for c in down[self.by("cL3")]} == {"cL1", "cL2", "cB2", "cA1"}
+
+    def test_upstream_includes_detour_loop(self):
+        dt = DestinationTransitions(self.ra, 0)
+        up = dt.upstream
+        # a message at state cA1 may hold any loop channel or cL3
+        assert {c.label for c in up[self.by("cA1")]} >= {"cA1", "cL2", "cB2", "cL3"}
+
+    def test_reachable_from(self):
+        dt = DestinationTransitions(self.ra, 0)
+        reach = dt.reachable_from(self.by("cL2"))
+        assert self.by("cL1") in reach and self.by("cB2") in reach
+
+
+class TestCache:
+    def test_cache_returns_same_object(self, mesh33):
+        cache = TransitionCache(DimensionOrderMesh(mesh33))
+        assert cache[0] is cache[0]
+        assert len(list(cache.all_destinations())) == mesh33.num_nodes
+
+    def test_ecube_single_successor(self, mesh33):
+        cache = TransitionCache(DimensionOrderMesh(mesh33))
+        dt = cache[8]
+        for c, outs in dt.succ.items():
+            if c.dst != 8:
+                assert len(outs) == 1
+
+    def test_wait_subset_of_succ(self, mesh33):
+        cache = TransitionCache(DimensionOrderMesh(mesh33))
+        for dt in cache.all_destinations():
+            for c in dt.succ:
+                assert dt.wait[c] <= dt.succ[c]

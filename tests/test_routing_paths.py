@@ -1,0 +1,82 @@
+"""Path enumeration under routing relations."""
+
+from math import factorial
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing import (
+    DimensionOrderMesh,
+    UnrestrictedMinimal,
+    count_minimal_paths,
+    count_paths,
+    enumerate_paths,
+    has_route,
+    path_nodes,
+)
+from repro.topology import build_hypercube, build_mesh, hamming_distance
+
+
+def test_trivial_pair_yields_empty_path(mesh33):
+    ra = DimensionOrderMesh(mesh33)
+    assert list(enumerate_paths(ra, 4, 4)) == [()]
+
+
+def test_paths_are_contiguous_and_end_at_dest(mesh33):
+    ra = UnrestrictedMinimal(mesh33)
+    for p in enumerate_paths(ra, 0, 8):
+        nodes = path_nodes(p, 0)
+        assert nodes[0] == 0 and nodes[-1] == 8
+
+
+def test_unrestricted_hypercube_counts_are_factorial():
+    h = build_hypercube(3)
+    ra = UnrestrictedMinimal(h)
+    for s in h.nodes:
+        for d in h.nodes:
+            if s != d:
+                k = hamming_distance(s, d)
+                assert count_minimal_paths(ra, s, d, k) == factorial(k)
+
+
+def test_vc_multiplicity_counts():
+    h = build_hypercube(2, num_vcs=2)
+    ra = UnrestrictedMinimal(h)
+    # distance 2, 2 VCs: 2! * 2^2 = 8 virtual paths
+    assert count_paths(ra, 0, 3) == 8
+
+
+def test_limit_truncates(mesh33):
+    ra = UnrestrictedMinimal(mesh33)
+    got = list(enumerate_paths(ra, 0, 8, limit=2))
+    assert len(got) == 2
+
+
+def test_has_route(mesh33):
+    ra = DimensionOrderMesh(mesh33)
+    assert has_route(ra, 0, 8)
+    assert has_route(ra, 8, 0)
+
+
+def test_non_simple_requires_bound(mesh33):
+    ra = DimensionOrderMesh(mesh33)
+    with pytest.raises(ValueError):
+        list(enumerate_paths(ra, 0, 8, simple=False))
+
+
+def test_path_nodes_validates(mesh33):
+    a = mesh33.channels_between(0, 1)[0]
+    b = mesh33.channels_between(4, 5)[0]
+    with pytest.raises(ValueError):
+        path_nodes((a, b), 0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=8), st.integers(min_value=0, max_value=8))
+def test_ecube_exactly_one_path_property(s, d):
+    m = build_mesh((3, 3))
+    ra = DimensionOrderMesh(m)
+    expected = 0 if s == d else 1
+    paths = [p for p in enumerate_paths(ra, s, d) if p != ()]
+    assert len(paths) == expected

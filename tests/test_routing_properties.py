@@ -1,0 +1,78 @@
+"""Structural property checkers (Definitions 5-7 and Duato's hypotheses)."""
+
+from repro.routing import (
+    DimensionOrderMesh,
+    DuatoFullyAdaptiveMesh,
+    EnhancedFullyAdaptive,
+    HighestPositiveLast,
+    IncoherentExample,
+    NegativeFirst,
+    UnrestrictedMinimal,
+    is_coherent,
+    is_connected,
+    is_fully_adaptive,
+    is_minimal,
+    is_prefix_closed,
+    is_suffix_closed,
+    never_revisits_node,
+    provides_minimal_path,
+)
+
+
+def test_connected_reports_counterexample(figure1):
+    # disable the only leftward exit from n3 by a broken wrapper
+    class Broken(IncoherentExample):
+        def route_nd(self, node, dest):
+            if node == 3 and dest != 3:
+                return frozenset()
+            return super().route_nd(node, dest)
+
+    rep = is_connected(Broken(figure1), max_hops=6)
+    assert not rep.holds and "3 ->" in rep.counterexample
+
+
+def test_minimality_flags_nonminimal(mesh33):
+    rep = is_minimal(HighestPositiveLast(mesh33), max_hops=6)
+    assert not rep.holds
+    assert is_minimal(DimensionOrderMesh(mesh33)).holds
+
+
+def test_provides_minimal_path(mesh33, figure1):
+    assert provides_minimal_path(HighestPositiveLast(mesh33))
+    assert provides_minimal_path(IncoherentExample(figure1))
+
+
+def test_suffix_closure_of_nd_relations(mesh33, figure1):
+    # any R(n, d) relation is suffix-closed by construction
+    for ra in (DimensionOrderMesh(mesh33), NegativeFirst(mesh33), IncoherentExample(figure1)):
+        assert is_suffix_closed(ra, max_hops=6).holds
+
+
+def test_prefix_closure_distinguishes(mesh33, cube3_2vc, figure1):
+    assert is_prefix_closed(DimensionOrderMesh(mesh33)).holds
+    assert not is_prefix_closed(EnhancedFullyAdaptive(cube3_2vc)).holds
+    assert not is_prefix_closed(IncoherentExample(figure1), max_hops=6).holds
+
+
+def test_never_revisits_node(mesh33, figure1):
+    assert never_revisits_node(DimensionOrderMesh(mesh33)).holds
+    assert not never_revisits_node(IncoherentExample(figure1), max_hops=6).holds
+
+
+def test_coherence_summary(mesh33_2vc, cube3_2vc):
+    assert is_coherent(DuatoFullyAdaptiveMesh(mesh33_2vc)).holds
+    rep = is_coherent(EnhancedFullyAdaptive(cube3_2vc))
+    assert not rep.holds and "prefix" in rep.counterexample
+
+
+def test_fully_adaptive_detects_partial(mesh33):
+    rep = is_fully_adaptive(NegativeFirst(mesh33))
+    assert not rep.holds and "prohibited" in rep.counterexample
+    assert is_fully_adaptive(UnrestrictedMinimal(mesh33)).holds
+
+
+def test_property_report_bool():
+    from repro.routing import PropertyReport
+
+    assert bool(PropertyReport(True))
+    assert not bool(PropertyReport(False, "bad"))

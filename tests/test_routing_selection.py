@@ -1,0 +1,77 @@
+"""Selection functions (Definition 3)."""
+
+import numpy as np
+import pytest
+
+from repro.routing import (
+    RandomSelection,
+    RoundRobinSelection,
+    first_free,
+    highest_vc_first,
+    lowest_vc_first,
+    straight_first,
+)
+from repro.topology import build_mesh
+
+
+@pytest.fixture(scope="module")
+def mesh_chans(mesh33):
+    inj = mesh33.injection_channel(4)
+    cands = sorted(mesh33.out_channels(4), key=lambda c: c.cid)
+    return inj, cands
+
+
+def test_first_free_picks_lowest(mesh_chans):
+    inj, cands = mesh_chans
+    assert first_free(inj, cands, lambda c: True) is cands[0]
+    assert first_free(inj, cands, lambda c: c is cands[2]) is cands[2]
+    assert first_free(inj, cands, lambda c: False) is None
+
+
+def test_straight_first_prefers_same_direction(mesh33):
+    # input heading east into node 4: prefer continuing east
+    east_in = [c for c in mesh33.in_channels(4) if c.meta == {"dim": 0, "sign": 1} or
+               (c.meta.get("dim") == 0 and c.meta.get("sign") == 1)][0]
+    cands = sorted(mesh33.out_channels(4), key=lambda c: c.cid)
+    pick = straight_first(east_in, cands, lambda c: True)
+    assert pick.meta["dim"] == 0 and pick.meta["sign"] == 1
+    # falls back when the straight channel is busy
+    pick2 = straight_first(east_in, cands, lambda c: not (c.meta["dim"] == 0 and c.meta["sign"] == 1))
+    assert pick2 is not None and not (pick2.meta["dim"] == 0 and pick2.meta["sign"] == 1)
+
+
+def test_random_selection_reproducible(mesh_chans):
+    inj, cands = mesh_chans
+    a = RandomSelection(42)
+    b = RandomSelection(42)
+    seq_a = [a(inj, cands, lambda c: True).cid for _ in range(10)]
+    seq_b = [b(inj, cands, lambda c: True).cid for _ in range(10)]
+    assert seq_a == seq_b
+    assert RandomSelection(0)(inj, cands, lambda c: False) is None
+
+
+def test_random_selection_only_free(mesh_chans):
+    inj, cands = mesh_chans
+    sel = RandomSelection(7)
+    free = cands[1]
+    for _ in range(5):
+        assert sel(inj, cands, lambda c: c is free) is free
+
+
+def test_round_robin_rotates(mesh_chans):
+    inj, cands = mesh_chans
+    rr = RoundRobinSelection()
+    picks = [rr(inj, cands, lambda c: True) for _ in range(len(cands))]
+    assert len(set(p.cid for p in picks)) == len(cands)
+    assert rr(inj, [], lambda c: True) is None
+
+
+def test_vc_order_preferences():
+    m = build_mesh((2, 2), num_vcs=3)
+    inj = m.injection_channel(0)
+    cands = m.channels_between(0, 1)
+    assert lowest_vc_first(inj, cands, lambda c: True).vc == 0
+    assert highest_vc_first(inj, cands, lambda c: True).vc == 2
+    assert lowest_vc_first(inj, cands, lambda c: c.vc == 1).vc == 1
+    assert lowest_vc_first(inj, cands, lambda c: False) is None
+    assert highest_vc_first(inj, cands, lambda c: False) is None

@@ -1,0 +1,130 @@
+"""Fault injection (Definition 3's faulty status) and livelock analysis
+(Section 4)."""
+
+import pytest
+
+from repro.routing import DimensionOrderMesh, HighestPositiveLast
+from repro.sim import BernoulliTraffic, ScriptedTraffic, SimConfig, WormholeSimulator
+from repro.topology import build_mesh
+
+
+def chan(net, node, dim, sign):
+    for c in net.out_channels(node):
+        if c.meta.get("dim") == dim and c.meta.get("sign") == sign:
+            return c
+    raise AssertionError
+
+
+class TestFaultInjection:
+    def test_only_idle_link_channels_can_fail(self, mesh33):
+        sim = WormholeSimulator(DimensionOrderMesh(mesh33), ScriptedTraffic([(0, 0, 2, 40)]), SimConfig())
+        with pytest.raises(ValueError):
+            sim.fail_channel(mesh33.injection_channel(0))
+        sim.run(3)
+        busy = next(c for c, o in sim.owner.items() if o is not None)
+        with pytest.raises(ValueError, match="occupied"):
+            sim.fail_channel(busy)
+
+    def test_ecube_stalls_on_its_only_path(self, mesh33):
+        """Nonadaptive routing has no alternative: a fault on the unique
+        path leaves the message blocked forever (a stall, not a deadlock)."""
+        ra = DimensionOrderMesh(mesh33)
+        sim = WormholeSimulator(ra, ScriptedTraffic([(0, 0, 2, 4)]), SimConfig(seed=1))
+        sim.fail_channel(chan(mesh33, 1, 0, +1))  # the 1->2 east channel
+        sim.run(300)
+        assert not sim.drain(max_cycles=300)
+        assert sim.deadlock is None  # not a cyclic deadlock
+        assert len(sim.stalled_messages()) == 1
+
+    def test_hpl_routes_around_fault(self, mesh33):
+        """HPL's nonminimal freedom delivers around the same fault -- the
+        Section 1 fault-tolerance motivation.  The wait-on-any Note variant
+        is the fault-tolerant discipline: a message committed to a single
+        designated waiting channel would wait on the dead channel forever."""
+        ra = HighestPositiveLast(mesh33, wait_any=True)
+        sim = WormholeSimulator(ra, ScriptedTraffic([(0, 6, 0, 6)]), SimConfig(seed=1))
+        # message 6 -> 0 (needs -y...): kill a channel on one minimal path
+        sim.fail_channel(chan(mesh33, 6, 1, -1))  # (0,2) -> (0,1) south
+        sim.run(5)
+        assert sim.drain(max_cycles=500)
+        (m,) = sim.messages.values()
+        assert m.delivered
+
+    def test_cut_destination_row_stalls_even_adaptive(self, mesh33):
+        """Adaptivity only helps while an alternative exists: with every
+        southbound channel into row 0 dead, a message bound for (0,0) stalls
+        no matter how it wanders (wait-connectivity -- and with it the
+        deadlock-freedom guarantee -- silently assumes fault-free waiting
+        channels)."""
+        ra = HighestPositiveLast(mesh33, wait_any=True)
+        sim = WormholeSimulator(ra, ScriptedTraffic([(0, 3, 0, 4)]), SimConfig(seed=1))
+        for node in (3, 4, 5):  # all of row 1's south channels
+            sim.fail_channel(chan(mesh33, node, 1, -1))
+        sim.run(5)
+        assert not sim.drain(max_cycles=800)
+        assert not sim.messages[0].delivered
+        assert sim.stalled_messages() or sim.blocked_messages()
+
+    def test_repair_restores_delivery(self, mesh33):
+        ra = DimensionOrderMesh(mesh33)
+        sim = WormholeSimulator(ra, ScriptedTraffic([(0, 0, 2, 4)]), SimConfig(seed=1))
+        bad = chan(mesh33, 1, 0, +1)
+        sim.fail_channel(bad)
+        sim.run(100)
+        assert not sim.messages[0].delivered
+        sim.repair_channel(bad)
+        assert sim.drain(max_cycles=300)
+
+    def test_fault_induced_jam_is_wormhole_physics(self, mesh44):
+        """A fault that leaves some routing state with only the dead channel
+        in its waiting set stalls a worm *permanently*, and -- because
+        wormhole messages hold their whole path -- traffic jams up behind
+        it.  The simulator reproduces that failure cascade: some messages
+        stall on the fault, many more block behind them, and the runtime
+        detector correctly does NOT call it a (cyclic) deadlock."""
+        ra = HighestPositiveLast(mesh44, wait_any=True)
+        sim = WormholeSimulator(
+            ra, BernoulliTraffic(mesh44, rate=0.15, length=4, stop_at=1500),
+            SimConfig(seed=23, deadlock_check_interval=32),
+        )
+        sim.fail_channel(chan(mesh44, 5, 0, +1))
+        sim.fail_channel(chan(mesh44, 10, 1, +1))
+        sim.run(1500)
+        sim.drain(max_cycles=4000)
+        delivered = sum(m.delivered for m in sim.messages.values())
+        assert delivered > 0
+        assert sim.stalled_messages(), "some worm stalls on the dead channel"
+        assert len(sim.blocked_messages()) > len(sim.stalled_messages()), \
+            "the jam spreads behind the stalled worms"
+        assert sim.deadlock is None, "a fault stall is not a Definition-12 knot"
+
+
+class TestLivelockAnalysis:
+    def test_minimal_algorithms_never_misroute(self, mesh33):
+        ra = DimensionOrderMesh(mesh33)
+        dist = mesh33.shortest_distances()
+        sim = WormholeSimulator(
+            ra, BernoulliTraffic(mesh33, rate=0.3, length=4, stop_at=800),
+            SimConfig(seed=7),
+        )
+        sim.run(800)
+        sim.drain()
+        for m in sim.messages.values():
+            assert m.hops == dist[m.src][m.dest]
+
+    def test_hpl_misroutes_are_bounded_in_practice(self, mesh33):
+        """Section 4: livelock needs unbounded misrouting; HPL's misroutes
+        under load stay small multiples of the distance and every message
+        arrives."""
+        ra = HighestPositiveLast(mesh33)
+        dist = mesh33.shortest_distances()
+        sim = WormholeSimulator(
+            ra, BernoulliTraffic(mesh33, rate=0.35, length=4, stop_at=2000),
+            SimConfig(seed=3),
+        )
+        sim.run(2000)
+        assert sim.drain()
+        excess = [m.hops - dist[m.src][m.dest] for m in sim.messages.values()]
+        assert all(e >= 0 for e in excess)
+        assert max(excess) <= 8  # bounded detours, no livelock spiral
+        assert all(m.delivered for m in sim.messages.values())

@@ -1,0 +1,43 @@
+"""Unit tests for Channel identity and roles."""
+
+from repro.topology import Channel, ChannelKind
+
+
+def test_equality_and_hash_by_cid():
+    a = Channel(cid=3, src=0, dst=1)
+    b = Channel(cid=3, src=5, dst=6, vc=2)  # same cid, different fields
+    c = Channel(cid=4, src=0, dst=1)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != c
+    assert len({a, b, c}) == 2
+
+
+def test_equality_against_other_types():
+    a = Channel(cid=1, src=0, dst=1)
+    assert a != 1
+    assert a != "c1"
+
+
+def test_kind_predicates():
+    link = Channel(cid=0, src=0, dst=1, kind=ChannelKind.LINK)
+    inj = Channel(cid=1, src=2, dst=2, kind=ChannelKind.INJECTION)
+    ej = Channel(cid=2, src=2, dst=2, kind=ChannelKind.EJECTION)
+    assert link.is_link and not link.is_injection and not link.is_ejection
+    assert inj.is_injection and not inj.is_link
+    assert ej.is_ejection and not ej.is_link
+
+
+def test_endpoints_and_repr():
+    c = Channel(cid=7, src=2, dst=5, vc=1, label="cX")
+    assert c.endpoints == (2, 5)
+    assert "cX" in repr(c)
+    unlabeled = Channel(cid=8, src=0, dst=1)
+    assert "c8" in repr(unlabeled)
+
+
+def test_meta_not_part_of_identity():
+    a = Channel(cid=0, src=0, dst=1, meta={"dim": 0})
+    b = Channel(cid=0, src=0, dst=1, meta={"dim": 5})
+    assert a == b
+    assert a.meta["dim"] == 0

@@ -1,0 +1,63 @@
+"""Property-based tests for the mixed-radix grid coordinate machinery."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.topology import all_coords, node_coord, node_id, offset_coord
+
+dims_strategy = st.lists(st.integers(min_value=1, max_value=6), min_size=1, max_size=4)
+
+
+@given(dims_strategy, st.data())
+def test_roundtrip(dims, data):
+    total = 1
+    for d in dims:
+        total *= d
+    nid = data.draw(st.integers(min_value=0, max_value=total - 1))
+    assert node_id(node_coord(nid, dims), dims) == nid
+
+
+@given(dims_strategy)
+def test_all_coords_in_id_order(dims):
+    coords = list(all_coords(dims))
+    assert [node_id(c, dims) for c in coords] == list(range(len(coords)))
+    assert len(set(coords)) == len(coords)
+
+
+def test_dimension_zero_is_fastest_varying():
+    # matches the hypercube convention: bit i of the id = coordinate i
+    assert node_id((1, 0, 0), (2, 2, 2)) == 1
+    assert node_id((0, 1, 0), (2, 2, 2)) == 2
+    assert node_id((0, 0, 1), (2, 2, 2)) == 4
+
+
+def test_node_id_validates():
+    with pytest.raises(ValueError):
+        node_id((3,), (3,))
+    with pytest.raises(ValueError):
+        node_id((0, 0), (3,))
+
+
+def test_node_coord_validates():
+    with pytest.raises(ValueError):
+        node_coord(9, (3, 3))
+
+
+@given(dims_strategy, st.data())
+def test_offset_wrap_and_mesh(dims, data):
+    total = 1
+    for d in dims:
+        total *= d
+    nid = data.draw(st.integers(min_value=0, max_value=total - 1))
+    dim = data.draw(st.integers(min_value=0, max_value=len(dims) - 1))
+    step = data.draw(st.sampled_from([-1, 1]))
+    coord = node_coord(nid, dims)
+    wrapped = offset_coord(coord, dim, step, dims, wrap=True)
+    assert wrapped is not None
+    assert wrapped[dim] == (coord[dim] + step) % dims[dim]
+    clipped = offset_coord(coord, dim, step, dims, wrap=False)
+    if 0 <= coord[dim] + step < dims[dim]:
+        assert clipped == wrapped or dims[dim] == 1
+    else:
+        assert clipped is None
