@@ -8,13 +8,17 @@ Two ablations from DESIGN.md:
   dependencies cannot deadlock;
 * **checker runtime scaling** -- building the CWG and verifying Theorem 2
   across mesh/hypercube sizes (the worst case is exponential; these
-  instances are the polynomial fast path because the CWGs are acyclic).
+  instances are the polynomial fast path because the CWGs are acyclic);
+* **batch pipeline modes** -- the full-catalog sweep serial-vs-parallel and
+  cold-vs-warm-cache: the content-addressed verdict cache must make warm
+  re-runs at least 2x faster than a cold serial sweep.
 """
 
 import time
 
 from repro.core import ChannelWaitingGraph, find_one_cycle
 from repro.deps import ChannelDependencyGraph
+from repro.pipeline import BatchVerifier, VerificationCache, catalog_specs
 from repro.routing import EnhancedFullyAdaptive, HighestPositiveLast
 from repro.topology import build_hypercube, build_mesh
 from repro.verify import verify
@@ -72,3 +76,40 @@ def test_scaling_efa_hypercubes(benchmark, once, table):
     table("Checker scaling: EFA on growing hypercubes",
           ["dim", "channels", "CWG edges", "deadlock-free", "time"], rows)
     assert all(r[3] for r in rows)
+
+
+def test_scaling_batch_pipeline(benchmark, once, table, tmp_path):
+    """Catalog sweep through the batch engine: serial/parallel, cold/warm.
+
+    The largest standard configuration (whole catalog, all three conditions,
+    4x4 mesh / 4x4 torus / 3-cube).  Parallel numbers are *reported* only --
+    on a single-core runner a process pool cannot win -- but the warm-cache
+    speedup is asserted: verdict memoization must pay for the fingerprinting.
+    """
+    specs = catalog_specs(mesh_dims=(4, 4), torus_dims=(4, 4), hypercube_dim=3)
+
+    def sweep():
+        rows = []
+        mem = VerificationCache()
+        cold = BatchVerifier(cache=mem).run(specs)
+        rows.append(("serial cold", cold.seconds, 1.0, len(cold.errors)))
+        warm = BatchVerifier(cache=mem).run(specs)
+        rows.append(("serial warm", warm.seconds, cold.seconds / warm.seconds,
+                     len(warm.errors)))
+        disk = str(tmp_path / "cache")
+        pcold = BatchVerifier(workers=2, cache_dir=disk).run(specs)
+        rows.append(("parallel x2 cold", pcold.seconds,
+                     cold.seconds / pcold.seconds, len(pcold.errors)))
+        pwarm = BatchVerifier(workers=2, cache_dir=disk).run(specs)
+        rows.append(("parallel x2 warm", pwarm.seconds,
+                     cold.seconds / pwarm.seconds, len(pwarm.errors)))
+        assert cold.verdicts() == warm.verdicts() == pcold.verdicts() == pwarm.verdicts()
+        return rows
+
+    rows = once(benchmark, sweep)
+    table("Batch pipeline: full catalog, 3 conditions",
+          [("mode"), "seconds", "speedup vs cold serial", "errors"],
+          [(m, f"{s:.2f}", f"{x:.1f}x", e) for m, s, x, e in rows])
+    assert all(r[3] == 0 for r in rows)
+    warm_speedup = rows[1][2]
+    assert warm_speedup >= 2.0, f"warm cache only {warm_speedup:.1f}x over cold serial"

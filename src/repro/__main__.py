@@ -2,15 +2,17 @@
 
 Subcommands
 -----------
-``verify``   run the deadlock-freedom verifiers on a cataloged algorithm;
-``catalog``  list the routing algorithms and their certified properties;
-``dot``      emit the CWG or CDG of an algorithm as Graphviz DOT;
-``simulate`` run the wormhole simulator and print a latency/throughput row.
+``verify``        run the deadlock-freedom verifiers on a cataloged algorithm;
+``verify-batch``  sweep many algorithms concurrently through the cached pipeline;
+``catalog``       list the routing algorithms and their certified properties;
+``dot``           emit the CWG or CDG of an algorithm as Graphviz DOT;
+``simulate``      run the wormhole simulator and print a latency/throughput row.
 
 Examples::
 
     python -m repro catalog
     python -m repro verify --algorithm highest-positive-last --topology mesh --dims 4,4
+    python -m repro verify-batch --jobs 4 --cache-dir .repro-cache --format json
     python -m repro dot --algorithm incoherent-example --topology figure1 --graph cwg
     python -m repro simulate --algorithm e-cube-mesh --topology mesh --dims 8,8 \
         --rate 0.2 --cycles 3000
@@ -21,31 +23,25 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .export import to_dot, verdict_block
+from .export import batch_table, batch_to_csv, batch_to_json, to_dot, verdict_block
 from .routing import CATALOG, make
-from .topology import (
-    build_figure1_network,
-    build_figure4_ring,
-    build_hypercube,
-    build_mesh,
-    build_torus,
-)
+
+
+def _parse_dims(text: str, flag: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(x) for x in text.split(","))
+    except ValueError:
+        raise SystemExit(f"{flag} expects comma-separated integers, got {text!r}") from None
 
 
 def _build_network(args) -> object:
-    dims = tuple(int(x) for x in args.dims.split(",")) if args.dims else None
-    vcs = args.vcs
-    if args.topology == "mesh":
-        return build_mesh(dims or (4, 4), num_vcs=vcs or 1)
-    if args.topology == "torus":
-        return build_torus(dims or (4, 4), num_vcs=vcs or 1)
-    if args.topology == "hypercube":
-        return build_hypercube(dims[0] if dims else 3, num_vcs=vcs or 1)
-    if args.topology == "figure1":
-        return build_figure1_network()
-    if args.topology == "figure4":
-        return build_figure4_ring()
-    raise SystemExit(f"unknown topology {args.topology!r}")
+    from .pipeline import build_topology
+
+    dims = _parse_dims(args.dims, "--dims") if args.dims else None
+    try:
+        return build_topology(args.topology, dims, args.vcs)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def _default_vcs(name: str) -> int:
@@ -78,6 +74,45 @@ def cmd_verify(args) -> int:
     verdict = verify(ra)
     print(verdict_block(verdict))
     return 0 if verdict.deadlock_free else 1
+
+
+def cmd_verify_batch(args) -> int:
+    from .pipeline import DEFAULT_CONDITIONS, BatchVerifier, catalog_specs
+
+    names = None
+    if args.algorithms and args.algorithms != "all":
+        names = [n.strip() for n in args.algorithms.split(",") if n.strip()]
+        unknown = [n for n in names if n not in CATALOG]
+        if unknown:
+            raise SystemExit(f"unknown algorithms {unknown}; see `python -m repro catalog`")
+    conditions = tuple(
+        c.strip() for c in (args.conditions or ",".join(DEFAULT_CONDITIONS)).split(",")
+        if c.strip()
+    )
+    specs = catalog_specs(
+        names,
+        mesh_dims=_parse_dims(args.mesh_dims, "--mesh-dims"),
+        torus_dims=_parse_dims(args.torus_dims, "--torus-dims"),
+        hypercube_dim=args.hypercube_dim,
+        conditions=conditions,
+    )
+    verifier = BatchVerifier(
+        workers=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+    )
+    report = verifier.run(specs)
+    rendered = {
+        "table": batch_table,
+        "json": batch_to_json,
+        "csv": batch_to_csv,
+    }[args.format](report)
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(rendered if rendered.endswith("\n") else rendered + "\n")
+        print(f"wrote {args.format} report for {len(report.jobs)} jobs to {args.output}")
+    else:
+        print(rendered)
+    return 1 if report.errors else 0
 
 
 def cmd_dot(args) -> int:
@@ -140,6 +175,25 @@ def main(argv: list[str] | None = None) -> int:
     pv.add_argument("--all-conditions", action="store_true",
                     help="also run Dally-Seitz and Duato's condition")
 
+    pb = sub.add_parser(
+        "verify-batch",
+        help="verify many cataloged algorithms concurrently with caching",
+    )
+    pb.add_argument("--algorithms", default="all",
+                    help="comma-separated catalog names (default: the whole catalog)")
+    pb.add_argument("--conditions", default=None,
+                    help="comma-separated subset of theorem,duato,dally-seitz")
+    pb.add_argument("--jobs", type=int, default=0,
+                    help="worker processes (0/1 = deterministic in-process)")
+    pb.add_argument("--mesh-dims", default="4,4", help="dims for mesh jobs")
+    pb.add_argument("--torus-dims", default="4,4", help="dims for torus jobs")
+    pb.add_argument("--hypercube-dim", type=int, default=3, help="dimension for hypercube jobs")
+    pb.add_argument("--cache-dir", default=None,
+                    help="shared on-disk cache directory (warm re-runs are near-free)")
+    pb.add_argument("--no-cache", action="store_true", help="disable all caching")
+    pb.add_argument("--format", default="table", choices=["table", "json", "csv"])
+    pb.add_argument("--output", default=None, help="write the report to a file")
+
     pd = sub.add_parser("dot", help="emit a channel graph as Graphviz DOT")
     common(pd)
     pd.add_argument("--graph", default="cwg", choices=["cwg", "cdg"])
@@ -153,11 +207,12 @@ def main(argv: list[str] | None = None) -> int:
     ps.add_argument("--seed", type=int, default=1)
 
     args = parser.parse_args(argv)
-    if args.command != "catalog" and args.topology is None:
+    if args.command not in ("catalog", "verify-batch") and args.topology is None:
         args.topology = CATALOG[args.algorithm].topology
     return {
         "catalog": cmd_catalog,
         "verify": cmd_verify,
+        "verify-batch": cmd_verify_batch,
         "dot": cmd_dot,
         "simulate": cmd_simulate,
     }[args.command](args)

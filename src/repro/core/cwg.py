@@ -46,6 +46,40 @@ class ChannelWaitingGraph:
                     self.edge_dests.setdefault((c1, c2), set()).add(dt.dest)
 
     # ------------------------------------------------------------------
+    # content-addressed cache hooks (repro.pipeline)
+    # ------------------------------------------------------------------
+    def cache_payload(self) -> list[list]:
+        """JSON-safe edge list ``[[src_cid, dst_cid, [dests...]], ...]``."""
+        return [
+            [a.cid, b.cid, sorted(dests)]
+            for (a, b), dests in sorted(
+                self.edge_dests.items(), key=lambda kv: (kv[0][0].cid, kv[0][1].cid)
+            )
+        ]
+
+    @classmethod
+    def from_cached_edges(
+        cls,
+        algorithm: RoutingAlgorithm,
+        payload: list[list],
+        *,
+        transitions: TransitionCache | None = None,
+    ) -> "ChannelWaitingGraph":
+        """Rebuild a graph from :meth:`cache_payload` output without rerunning
+        the per-destination waiting-set propagation.  The payload must have
+        been produced for an identical ``(network, relation)`` pair -- the
+        pipeline guarantees that by fingerprinting both.
+        """
+        self = cls.__new__(cls)
+        self.algorithm = algorithm
+        self.transitions = transitions or TransitionCache(algorithm)
+        net = algorithm.network
+        self.edge_dests = {
+            (net.channel(a), net.channel(b)): set(dests) for a, b, dests in payload
+        }
+        return self
+
+    # ------------------------------------------------------------------
     @property
     def vertices(self) -> list[Channel]:
         """All link channels of the network (including unused ones)."""

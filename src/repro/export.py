@@ -1,16 +1,28 @@
-"""Export helpers: Graphviz DOT and text renderings of the channel graphs.
+"""Export helpers: Graphviz DOT, text renderings, and batch reports.
 
 ``to_dot`` works on any of the library's graph objects (CWG, CDG, ECDG --
 anything exposing ``edges`` of channel pairs) and highlights a cycle or a
 set of removed edges, which makes the Figure 2/3-style pictures of the
 paper one ``dot -Tpng`` away.
+
+``batch_to_json`` / ``batch_to_csv`` / ``batch_table`` render the
+:class:`~repro.pipeline.engine.BatchReport` of a ``verify-batch`` sweep --
+one machine-readable record (or CSV row) per (job, condition), plus the
+aggregate cache statistics and per-stage timers/counters.
 """
 
 from __future__ import annotations
 
+import csv
+import io
+import json
 from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 from .topology.channel import Channel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .pipeline.engine import BatchReport
 
 Edge = tuple[Channel, Channel]
 
@@ -66,6 +78,110 @@ def edge_listing(graph, *, removed: Iterable[Edge] = ()) -> str:
         mark = "-" if (a, b) in rm else " "
         rows.append(f" {mark} {_name(a)} -> {_name(b)}")
     return "\n".join(rows)
+
+
+# ----------------------------------------------------------------------
+# batch verification reports (repro.pipeline)
+# ----------------------------------------------------------------------
+def batch_to_json(report: "BatchReport", *, indent: int = 2) -> str:
+    """Full machine-readable rendering of a batch report."""
+    doc = {
+        "generator": "repro verify-batch",
+        "seconds": round(report.seconds, 6),
+        "workers": report.workers,
+        "cache": report.cache,
+        "metrics": report.metrics,
+        "jobs": [
+            {
+                "algorithm": j.spec.algorithm,
+                "topology": j.spec.topology,
+                "dims": list(j.spec.dims) if j.spec.dims else None,
+                "vcs": j.spec.vcs,
+                "network": j.network,
+                "fingerprint": j.fingerprint,
+                "seconds": round(j.seconds, 6),
+                "error": j.error,
+                "conditions": [
+                    {
+                        "key": r.key,
+                        "condition": r.condition,
+                        "deadlock_free": r.deadlock_free,
+                        "necessary_and_sufficient": r.necessary_and_sufficient,
+                        "cached": r.cached,
+                        "seconds": round(r.seconds, 6),
+                        "reason": r.reason,
+                        "evidence": r.evidence,
+                    }
+                    for r in j.results
+                ],
+            }
+            for j in report.jobs
+        ],
+    }
+    return json.dumps(doc, indent=indent)
+
+
+def batch_to_csv(report: "BatchReport") -> str:
+    """One CSV row per (job, condition); errored jobs get a single row."""
+    buf = io.StringIO()
+    w = csv.writer(buf, lineterminator="\n")
+    w.writerow([
+        "algorithm", "topology", "network", "condition", "deadlock_free",
+        "necessary_and_sufficient", "cached", "seconds", "reason",
+    ])
+    for j in report.jobs:
+        if not j.ok:
+            w.writerow([j.spec.algorithm, j.spec.topology, j.network,
+                        "ERROR", "", "", "", f"{j.seconds:.6f}", j.error])
+            continue
+        for r in j.results:
+            w.writerow([
+                j.spec.algorithm, j.spec.topology, j.network, r.condition,
+                r.deadlock_free, r.necessary_and_sufficient, r.cached,
+                f"{r.seconds:.6f}", r.reason,
+            ])
+    return buf.getvalue()
+
+
+def batch_table(report: "BatchReport") -> str:
+    """Aligned text table plus the observability footer (the CLI default)."""
+    headers = ["algorithm", "network", "condition", "safe", "iff", "cached", "time"]
+    rows: list[tuple[str, ...]] = []
+    for j in report.jobs:
+        if not j.ok:
+            rows.append((j.spec.algorithm, j.network or j.spec.topology,
+                         "ERROR", "-", "-", "-", f"{j.seconds:.2f}s"))
+            continue
+        for r in j.results:
+            rows.append((
+                j.spec.algorithm, j.network, r.condition,
+                "yes" if r.deadlock_free else "NO",
+                "iff" if r.necessary_and_sufficient else "partial",
+                "hit" if r.cached else "-",
+                f"{r.seconds:.2f}s",
+            ))
+    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+              for i, h in enumerate(headers)]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines += ["  ".join(c.ljust(w) for c, w in zip(r, widths)) for r in rows]
+    lines.append("")
+    lines.append(
+        f"{len(report.jobs)} jobs ({len(report.errors)} errors) in "
+        f"{report.seconds:.2f}s on {report.workers} worker(s)"
+    )
+    if report.cache:
+        lines.append(
+            f"cache: {report.cache.get('hits', 0)} hits, "
+            f"{report.cache.get('misses', 0)} misses, "
+            f"{report.cache.get('stores', 0)} stores"
+        )
+    timers = report.metrics.get("timers", {})
+    counters = report.metrics.get("counters", {})
+    if timers:
+        lines.append("stage timers: " + ", ".join(f"{k}={v:.3f}s" for k, v in timers.items()))
+    if counters:
+        lines.append("counters: " + ", ".join(f"{k}={v}" for k, v in counters.items()))
+    return "\n".join(lines)
 
 
 def verdict_block(verdict) -> str:

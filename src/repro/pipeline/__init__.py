@@ -1,0 +1,62 @@
+"""Batch verification pipeline: parallel sweeps with a content-addressed cache.
+
+The production layer over the verifiers: fingerprint ``(network, routing
+relation)`` pairs (:mod:`~repro.pipeline.fingerprint`), memoize CWG
+construction, cycle enumeration, reductions, and whole verdicts across calls
+and processes (:mod:`~repro.pipeline.cache`), and sweep many (topology,
+algorithm) jobs concurrently with per-stage observability
+(:mod:`~repro.pipeline.engine`, :mod:`~repro.pipeline.observability`).
+
+Exposed on the command line as ``python -m repro verify-batch``.
+"""
+
+from .cache import (
+    VerificationCache,
+    cached_cwg,
+    cached_cycles,
+    cached_reduction,
+    cached_verdict,
+    payload_to_verdict,
+    slim_evidence,
+    verdict_to_payload,
+)
+from .engine import (
+    CONDITIONS,
+    DEFAULT_CONDITIONS,
+    BatchReport,
+    BatchVerifier,
+    ConditionResult,
+    JobResult,
+    JobSpec,
+    build_topology,
+    catalog_specs,
+    run_job,
+    verify_catalog,
+)
+from .fingerprint import fingerprint_network, fingerprint_relation
+from .observability import StageMetrics
+
+__all__ = [
+    "BatchReport",
+    "BatchVerifier",
+    "CONDITIONS",
+    "ConditionResult",
+    "DEFAULT_CONDITIONS",
+    "JobResult",
+    "JobSpec",
+    "StageMetrics",
+    "VerificationCache",
+    "build_topology",
+    "cached_cwg",
+    "cached_cycles",
+    "cached_reduction",
+    "cached_verdict",
+    "catalog_specs",
+    "fingerprint_network",
+    "fingerprint_relation",
+    "payload_to_verdict",
+    "run_job",
+    "slim_evidence",
+    "verdict_to_payload",
+    "verify_catalog",
+]

@@ -1,0 +1,281 @@
+"""Content-addressed cache for verification artifacts.
+
+Keys are ``(fingerprint, stage)`` pairs where the fingerprint comes from
+:mod:`repro.pipeline.fingerprint` -- so a cache entry can never be stale:
+mutate the network or the routing relation in any observable way and the
+key changes.  Payloads are JSON-serializable by construction (channel ids,
+not channel objects), which keeps entries portable across processes -- the
+process-pool workers of the batch engine share one on-disk cache directory.
+
+Three artifact layers are memoized, cheapest-to-rebuild last:
+
+* whole verdicts (``verdict:<condition>``) -- the big win for catalog
+  re-sweeps;
+* CWG edge sets with their destination witnesses (``cwg``), restored via
+  :meth:`repro.core.cwg.ChannelWaitingGraph.from_cached_edges`;
+* simple-cycle enumerations (``cycles``) and Section 8 reduction outcomes
+  (``reduction``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from ..core.cwg import ChannelWaitingGraph
+from ..core.cycles import Cycle, CycleExplosion, find_cycles
+from ..core.reduction import CWGReducer, ReductionResult
+from ..routing.relation import RoutingAlgorithm
+from ..topology.network import Network
+from ..verify.report import Verdict
+
+
+class VerificationCache:
+    """In-memory memo store with an optional shared on-disk layer.
+
+    Without a ``directory`` the cache lives in this process only (the
+    deterministic in-process engine mode); with one, entries are also
+    persisted as one JSON file per key so concurrent workers and later runs
+    reuse them.  Corrupt or truncated files are treated as misses.
+    """
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self._mem: dict[str, Any] = {}
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key(fingerprint: str, stage: str) -> str:
+        return f"{stage.replace(':', '_').replace('/', '_')}-{fingerprint}"
+
+    def _path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.json"
+
+    def get(self, fingerprint: str, stage: str) -> Any | None:
+        """Cached payload for ``(fingerprint, stage)`` or ``None``."""
+        key = self.key(fingerprint, stage)
+        if key in self._mem:
+            self.hits += 1
+            return self._mem[key]
+        if self.directory is not None:
+            path = self._path(key)
+            if path.exists():
+                try:
+                    payload = json.loads(path.read_text())
+                except (OSError, ValueError):
+                    payload = None
+                if payload is not None:
+                    self._mem[key] = payload
+                    self.hits += 1
+                    return payload
+        self.misses += 1
+        return None
+
+    def put(self, fingerprint: str, stage: str, payload: Any) -> None:
+        """Store a JSON-serializable payload under ``(fingerprint, stage)``."""
+        key = self.key(fingerprint, stage)
+        self._mem[key] = payload
+        self.stores += 1
+        if self.directory is not None:
+            path = self._path(key)
+            # atomic publish: concurrent workers may race on the same key
+            fd, tmp = tempfile.mkstemp(dir=str(self.directory), suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as f:
+                    json.dump(payload, f)
+                os.replace(tmp, path)
+            except OSError:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+
+# ----------------------------------------------------------------------
+# memoized artifact builders
+# ----------------------------------------------------------------------
+def cached_cwg(
+    algorithm: RoutingAlgorithm,
+    cache: VerificationCache | None,
+    *,
+    fingerprint: str | None = None,
+    transitions=None,
+) -> ChannelWaitingGraph:
+    """Build (or restore) the CWG of ``algorithm`` through the cache."""
+    if cache is None:
+        return ChannelWaitingGraph(algorithm, transitions=transitions)
+    fp = fingerprint or algorithm.fingerprint(transitions=transitions)
+    payload = cache.get(fp, "cwg")
+    if payload is not None:
+        return ChannelWaitingGraph.from_cached_edges(
+            algorithm, payload, transitions=transitions
+        )
+    cwg = ChannelWaitingGraph(algorithm, transitions=transitions)
+    cache.put(fp, "cwg", cwg.cache_payload())
+    return cwg
+
+
+def cached_cycles(
+    cwg: ChannelWaitingGraph,
+    cache: VerificationCache | None,
+    *,
+    fingerprint: str | None = None,
+    limit: int | None = 100_000,
+) -> list[Cycle]:
+    """Enumerate (or restore) the simple cycles of a CWG through the cache."""
+    if cache is None:
+        return find_cycles(cwg.graph(), limit=limit)
+    net = cwg.algorithm.network
+    fp = fingerprint or cwg.algorithm.fingerprint(transitions=cwg.transitions)
+    payload = cache.get(fp, "cycles")
+    if payload is not None and payload.get("limit_ok", False):
+        return [
+            Cycle(tuple(net.channel(cid) for cid in cids))
+            for cids in payload["cycles"]
+        ]
+    try:
+        cycles = find_cycles(cwg.graph(), limit=limit)
+    except CycleExplosion:
+        cache.put(fp, "cycles", {"limit_ok": False, "cycles": []})
+        raise
+    cache.put(
+        fp,
+        "cycles",
+        {"limit_ok": True, "cycles": [[c.cid for c in cy.channels] for cy in cycles]},
+    )
+    return cycles
+
+
+def cached_reduction(
+    cwg: ChannelWaitingGraph,
+    cache: VerificationCache | None,
+    *,
+    fingerprint: str | None = None,
+    cycle_limit: int | None = 100_000,
+) -> ReductionResult:
+    """Run (or restore) the Section 8 CWG -> CWG' reduction through the cache.
+
+    Restored results carry the removal set, success flag, and reason; the
+    step trace and per-cycle classifications (only needed by the worked
+    examples) are recomputed on demand by running the reducer directly.
+    """
+    if cache is None:
+        return CWGReducer(cwg, cycle_limit=cycle_limit).run()
+    net = cwg.algorithm.network
+    fp = fingerprint or cwg.algorithm.fingerprint(transitions=cwg.transitions)
+    payload = cache.get(fp, "reduction")
+    if payload is not None:
+        removed = frozenset(
+            (net.channel(a), net.channel(b)) for a, b in payload["removed"]
+        )
+        return ReductionResult(
+            payload["success"], removed, [], [], reason=payload["reason"]
+        )
+    result = CWGReducer(cwg, cycle_limit=cycle_limit).run()
+    cache.put(
+        fp,
+        "reduction",
+        {
+            "success": result.success,
+            "removed": sorted((a.cid, b.cid) for a, b in result.removed),
+            "reason": result.reason,
+            "backtracks": sum(1 for s in result.steps if s.action == "backtrack"),
+        },
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# verdict (de)hydration
+# ----------------------------------------------------------------------
+#: evidence values preserved verbatim in cached verdicts / reports
+_SCALAR = (bool, int, float, str)
+
+
+def slim_evidence(evidence: dict[str, Any]) -> dict[str, Any]:
+    """JSON-safe projection of a verdict's evidence.
+
+    Scalars survive unchanged; cycle witnesses become their channel-id
+    lists; rich objects (classifications, deadlock configurations,
+    reduction traces) are summarized to strings -- the full objects are
+    recomputable, the report only needs the headline facts.
+    """
+    out: dict[str, Any] = {}
+    for k, v in evidence.items():
+        if isinstance(v, _SCALAR):
+            out[k] = v
+        elif isinstance(v, Cycle):
+            out[k] = [c.cid for c in v.channels]
+        elif isinstance(v, (list, tuple)) and all(isinstance(x, _SCALAR) for x in v):
+            out[k] = list(v)
+        else:
+            out[k] = repr(v)
+    return out
+
+
+def verdict_to_payload(verdict: Verdict) -> dict[str, Any]:
+    return {
+        "algorithm": verdict.algorithm,
+        "condition": verdict.condition,
+        "deadlock_free": verdict.deadlock_free,
+        "necessary_and_sufficient": verdict.necessary_and_sufficient,
+        "reason": verdict.reason,
+        "evidence": slim_evidence(verdict.evidence),
+    }
+
+
+def payload_to_verdict(payload: dict[str, Any]) -> Verdict:
+    return Verdict(
+        payload["algorithm"],
+        payload["condition"],
+        payload["deadlock_free"],
+        necessary_and_sufficient=payload["necessary_and_sufficient"],
+        reason=payload["reason"],
+        evidence=dict(payload["evidence"]),
+    )
+
+
+def cached_verdict(
+    algorithm: RoutingAlgorithm,
+    condition: str,
+    compute,
+    cache: VerificationCache | None,
+    *,
+    fingerprint: str | None = None,
+) -> tuple[Verdict, bool]:
+    """Memoize a whole verification verdict.
+
+    ``compute`` is a zero-argument callable producing the
+    :class:`~repro.verify.report.Verdict`.  Returns ``(verdict, was_cached)``.
+    """
+    if cache is None:
+        return compute(), False
+    fp = fingerprint or algorithm.fingerprint()
+    stage = f"verdict:{condition}"
+    payload = cache.get(fp, stage)
+    if payload is not None:
+        return payload_to_verdict(payload), True
+    verdict = compute()
+    cache.put(fp, stage, verdict_to_payload(verdict))
+    return verdict, False
+
+
+def network_fingerprint(network: Network) -> str:
+    """Convenience re-export used by callers that only have a network."""
+    return network.fingerprint()

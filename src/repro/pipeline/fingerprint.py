@@ -1,0 +1,86 @@
+"""Content-addressed fingerprints of networks and routing relations.
+
+The batch pipeline memoizes expensive artifacts -- CWG construction,
+simple-cycle enumeration, reduction results, whole verdicts -- across calls
+and across processes.  A cache entry is valid exactly as long as the
+*content* it was computed from is unchanged, so cache keys are digests of
+that content, not of object identities or class names:
+
+* a network is its channel list (ids, endpoints, VC indices, kinds, labels,
+  generator metadata) plus node count and coordinates -- everything the
+  graph constructions and the simulator consult;
+* a routing relation is its full reachable routing table: for every
+  destination and every reachable routing state, the permitted outputs and
+  the waiting set.  Two relations with identical tables verify identically,
+  whatever code produced them, so the algorithm *name* is deliberately
+  excluded.
+
+Fingerprints are hex BLAKE2b digests, stable across processes and Python
+versions (only integers and explicit strings are hashed -- never ``repr`` of
+objects with addresses, never hash-randomized strings).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.transitions import TransitionCache
+    from ..routing.relation import RoutingAlgorithm
+    from ..topology.network import Network
+
+_DIGEST_SIZE = 20
+
+
+def _hasher() -> "hashlib.blake2b":
+    return hashlib.blake2b(digest_size=_DIGEST_SIZE)
+
+
+def _meta_token(meta: dict) -> str:
+    """Canonical text for a metadata dict (sorted keys, primitive values)."""
+    return ";".join(f"{k}={meta[k]!r}" for k in sorted(meta))
+
+
+def fingerprint_network(network: "Network") -> str:
+    """Digest of a network's full structure (nodes, channels, coords, meta)."""
+    h = _hasher()
+    h.update(b"network/v1\n")
+    h.update(f"nodes={network.num_nodes}\n".encode())
+    for c in network.channels:
+        h.update(
+            f"ch {c.cid} {c.src} {c.dst} {c.vc} {c.kind.value} "
+            f"{c.label} [{_meta_token(c.meta)}]\n".encode()
+        )
+    for node in sorted(network.coords):
+        h.update(f"coord {node} {network.coords[node]!r}\n".encode())
+    h.update(f"meta [{_meta_token(network.meta)}]\n".encode())
+    return h.hexdigest()
+
+
+def fingerprint_relation(
+    algorithm: "RoutingAlgorithm",
+    *,
+    transitions: "TransitionCache | None" = None,
+) -> str:
+    """Digest of a routing relation: network + wait policy + full table.
+
+    Enumerates the same reachable routing states the graph constructions
+    consume (via :class:`~repro.core.transitions.TransitionCache`, shared
+    with the caller when provided so the table is built only once) and
+    hashes, per state, the permitted output set and the waiting set.
+    """
+    from ..core.transitions import TransitionCache
+
+    h = _hasher()
+    h.update(b"relation/v1\n")
+    h.update(fingerprint_network(algorithm.network).encode())
+    h.update(f"\nform={algorithm.form} wait={algorithm.wait_policy.value}\n".encode())
+    cache = transitions or TransitionCache(algorithm)
+    for dest in algorithm.network.nodes:
+        dt = cache[dest]
+        for c in sorted(dt.succ, key=lambda ch: ch.cid):
+            succ = ",".join(str(o.cid) for o in sorted(dt.succ[c], key=lambda ch: ch.cid))
+            wait = ",".join(str(w.cid) for w in sorted(dt.wait[c], key=lambda ch: ch.cid))
+            h.update(f"{dest}:{c.cid} -> [{succ}] wait [{wait}]\n".encode())
+    return h.hexdigest()

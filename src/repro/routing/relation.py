@@ -101,6 +101,19 @@ class RoutingAlgorithm(ABC):
     # ------------------------------------------------------------------
     # conveniences
     # ------------------------------------------------------------------
+    def fingerprint(self, *, transitions=None) -> str:
+        """Content-addressed digest of the relation (network + full table).
+
+        Two algorithms with identical reachable routing tables on identical
+        networks share a fingerprint regardless of name or implementing
+        class; the batch pipeline keys every cached artifact on it.  Pass
+        the :class:`~repro.core.transitions.TransitionCache` already built
+        for verification to avoid enumerating the table twice.
+        """
+        from ..pipeline.fingerprint import fingerprint_relation
+
+        return fingerprint_relation(self, transitions=transitions)
+
     def route_from_source(self, node: int, dest: int) -> frozenset[Channel]:
         """Route set for a newly injected message (input = injection channel)."""
         return self.route(self.network.injection_channel(node), node, dest)

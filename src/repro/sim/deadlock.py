@@ -91,10 +91,13 @@ class DeadlockDetector:
         changed = True
         while changed:
             changed = False
-            for mid in list(marked):
+            # sorted iteration: the fixpoint is order-independent, but the
+            # sweep order must not depend on set layout for runs to be
+            # reproducible flit-for-flit under any PYTHONHASHSEED
+            for mid in sorted(marked):
                 m = blocked[mid]
                 assert m.waiting_for is not None
-                for w in m.waiting_for:
+                for w in sorted(m.waiting_for, key=lambda c: c.cid):
                     owner = sim.owner[w]
                     if owner is None or owner not in marked or \
                             self._can_release_without_head_progress(owner, w):

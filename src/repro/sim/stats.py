@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -31,6 +32,25 @@ class SimStats:
 
     def note_delivered(self, message: Message) -> None:
         self.delivered.append(message)
+
+    def digest(self) -> str:
+        """Order-sensitive BLAKE2b digest of everything the run recorded.
+
+        Two simulations are byte-identical iff they offered, moved, consumed,
+        and delivered the same flits in the same order with the same
+        timestamps -- the determinism regression tests compare this, which is
+        far stricter than comparing a :class:`StatsSummary`.
+        """
+        h = hashlib.blake2b(digest_size=16)
+        h.update(f"{self.offered_flits}/{self.flit_hops}/{self.consumed_flits}".encode())
+        for t in self._consumed_at:
+            h.update(f"|{t}".encode())
+        for m in self.delivered:
+            h.update(
+                f"|m{m.mid}:{m.src}>{m.dest}:{m.length}"
+                f":{m.created}:{m.started}:{m.finished}:{m.hops}".encode()
+            )
+        return h.hexdigest()
 
     # ------------------------------------------------------------------
     def summary(self, *, cycles: int, num_nodes: int, warmup: int = 0) -> "StatsSummary":

@@ -53,6 +53,7 @@ class Network:
         self._ejection: list[Channel | None] = []
         self._by_label: dict[str, Channel] = {}
         self._frozen = False
+        self._fingerprint: str | None = None
         self.coords: dict[int, tuple[int, ...]] = {}
         self.meta: dict[str, Any] = {}
 
@@ -247,6 +248,22 @@ class Network:
             if c.is_link:
                 counts[c.endpoints] = counts.get(c.endpoints, 0) + 1
         return max(counts.values(), default=0)
+
+    def fingerprint(self) -> str:
+        """Content-addressed digest of the network's structure.
+
+        Covers nodes, every channel (endpoints, VC index, kind, label,
+        generator metadata), coordinates, and network metadata -- any
+        observable mutation yields a different fingerprint.  Memoized once
+        the network is frozen (it is immutable from then on).
+        """
+        from ..pipeline.fingerprint import fingerprint_network
+
+        if not self._frozen:
+            return fingerprint_network(self)
+        if self._fingerprint is None:
+            self._fingerprint = fingerprint_network(self)
+        return self._fingerprint
 
     def coord(self, node: int) -> tuple[int, ...]:
         try:

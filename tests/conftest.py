@@ -1,8 +1,25 @@
-"""Shared fixtures: the networks and routing algorithms used across tests."""
+"""Shared fixtures: the networks and routing algorithms used across tests.
+
+Also registers the "ci" Hypothesis profile: derandomized (fixed example
+sequence, no flakes across runs/machines) with deadlines disabled (CI
+containers have noisy clocks).  Override with HYPOTHESIS_PROFILE=default
+to fuzz with fresh randomness locally.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 from repro.topology import (
     build_figure1_network,

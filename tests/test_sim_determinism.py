@@ -1,0 +1,98 @@
+"""Regression: simulation runs are reproducible flit-for-flit.
+
+The benchmark tables (EXPERIMENTS.md) and the differential oracle tests both
+assume a ``(algorithm, traffic, seed)`` triple pins down the whole run.  The
+tests compare :meth:`repro.sim.SimStats.digest` -- an order-sensitive hash of
+every delivery and consumption event -- between repeated runs in-process and
+across interpreters with different ``PYTHONHASHSEED`` values, which catches
+any unordered-set iteration sneaking into the simulator's hot paths.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.routing import make
+from repro.sim import BernoulliTraffic, SimConfig, WormholeSimulator
+from repro.topology import build_mesh
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _run(seed: int, *, algorithm: str = "duato-mesh", cycles: int = 600) -> str:
+    net = build_mesh((3, 3), num_vcs=2)
+    ra = make(algorithm, net)
+    sim = WormholeSimulator(
+        ra,
+        BernoulliTraffic(net, rate=0.3, pattern="uniform", length=6,
+                         stop_at=cycles - 200),
+        SimConfig(seed=seed, deadlock_check_interval=16),
+    )
+    sim.run(cycles)
+    assert sim.deadlock is None
+    sim.drain()
+    return sim.stats.digest()
+
+
+@pytest.mark.parametrize("algorithm", ["e-cube-mesh", "duato-mesh", "west-first"])
+def test_same_seed_byte_identical(algorithm):
+    a = _run(17, algorithm=algorithm)
+    b = _run(17, algorithm=algorithm)
+    assert a == b
+
+
+def test_different_seeds_diverge():
+    assert _run(1) != _run(2)
+
+
+def test_digest_reflects_events():
+    net = build_mesh((3, 3))
+    ra = make("e-cube-mesh", net)
+    sim = WormholeSimulator(
+        ra,
+        BernoulliTraffic(net, rate=0.2, pattern="uniform", length=4, stop_at=200),
+        SimConfig(seed=3),
+    )
+    empty = sim.stats.digest()
+    sim.run(400)
+    sim.drain()
+    done = sim.stats.digest()
+    assert empty != done
+    assert sim.stats.consumed_flits > 0
+
+
+_SNIPPET = """
+from repro.routing import make
+from repro.sim import BernoulliTraffic, SimConfig, WormholeSimulator
+from repro.topology import build_mesh
+
+net = build_mesh((3, 3), num_vcs=2)
+ra = make("duato-mesh", net)
+sim = WormholeSimulator(
+    ra,
+    BernoulliTraffic(net, rate=0.3, pattern="uniform", length=6, stop_at=400),
+    SimConfig(seed=9, deadlock_check_interval=16),
+)
+sim.run(600)
+sim.drain()
+print(sim.stats.digest())
+"""
+
+
+def test_digest_stable_across_hash_seeds():
+    """Fresh interpreters with different PYTHONHASHSEEDs must agree: any
+    str/object-keyed set iteration in a hot path would scramble event order."""
+    digests = set()
+    for hash_seed in ("0", "1", "424242"):
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed, PYTHONPATH=SRC)
+        proc = subprocess.run(
+            [sys.executable, "-c", _SNIPPET],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        digests.add(proc.stdout.strip())
+    assert len(digests) == 1, f"digests diverged across hash seeds: {digests}"
