@@ -46,8 +46,9 @@ def run_point(net, algo_cls, pattern, rate, *, depth=4, seed=5):
     return s.avg_latency, s.throughput_flits_per_node_cycle
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("pattern", ["uniform", "bit-reverse"])
-def test_sim_hypercube_latency_vs_load(benchmark, once, table, pattern):
+def test_sim_hypercube_latency_vs_load(benchmark, once, table, sim_cycles, pattern):
     net = build_hypercube(DIM, num_vcs=2)
     rates = [0.1, 0.25, 0.4, 0.55]
 
@@ -58,6 +59,7 @@ def test_sim_hypercube_latency_vs_load(benchmark, once, table, pattern):
         }
 
     grid = once(benchmark, sweep)
+    sim_cycles(CYCLES * len(rates) * len(ALGOS))
     rows = [
         (f"{r:.2f}",) + tuple(f"{grid[n][i][0]:8.1f}" for n in ALGOS)
         for i, r in enumerate(rates)
@@ -78,7 +80,8 @@ def test_sim_hypercube_latency_vs_load(benchmark, once, table, pattern):
         assert grid[name][0][0] < grid[name][-1][0]
 
 
-def test_sim_buffer_depth_ablation(benchmark, once, table):
+@pytest.mark.slow
+def test_sim_buffer_depth_ablation(benchmark, once, table, sim_cycles):
     net = build_hypercube(DIM, num_vcs=2)
     depths = [1, 2, 4, 8]
 
@@ -89,6 +92,7 @@ def test_sim_buffer_depth_ablation(benchmark, once, table):
         }
 
     out = once(benchmark, sweep)
+    sim_cycles(CYCLES * len(depths))
     table("Ablation: VC buffer depth (EFA, 5-cube, uniform load 0.25)",
           ["depth", "avg latency", "throughput"], [
               (d, f"{lat:8.1f}", f"{thpt:.4f}") for d, (lat, thpt) in out.items()

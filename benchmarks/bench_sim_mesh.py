@@ -54,8 +54,9 @@ def run_point(net, factory, pattern: str, rate: float, seed: int = 3):
     return s.avg_latency, s.throughput_flits_per_node_cycle
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("pattern", ["uniform", "transpose"])
-def test_sim_mesh_latency_vs_load(benchmark, once, table, pattern):
+def test_sim_mesh_latency_vs_load(benchmark, once, table, sim_cycles, pattern):
     net = build_mesh(MESH)
     rates = [0.05, 0.15, 0.25, 0.35]
 
@@ -66,6 +67,7 @@ def test_sim_mesh_latency_vs_load(benchmark, once, table, pattern):
         }
 
     grid = once(benchmark, sweep)
+    sim_cycles(CYCLES * len(rates) * len(ALGOS))
     rows = [
         (f"{r:.2f}",) + tuple(f"{grid[n][i][0]:8.1f}" for n in ALGOS)
         for i, r in enumerate(rates)
@@ -92,3 +94,60 @@ def test_sim_mesh_latency_vs_load(benchmark, once, table, pattern):
             assert grid["hpl-min"][i][1] >= grid["e-cube"][i][1]
         # ablation: misrouting costs bandwidth past saturation
         assert grid["hpl-full"][3][1] <= grid["hpl-min"][3][1]
+
+
+@pytest.mark.sim_smoke
+def test_sim_smoke_quick(benchmark, once, table, sim_cycles):
+    """The ``--quick`` tier: two algorithms at one moderate load point.
+
+    Doubles as the perf regression guard for CI: simulated cycles/sec must
+    stay within a generous factor of the recorded ``BENCH_sim.json``
+    full-sweep rate.  The factor absorbs machine-to-machine variance (CI
+    runners vs the recording machine) while still catching an accidental
+    return to per-message-per-cycle scans, which costs an order of
+    magnitude.
+    """
+    import time
+
+    from conftest import load_snapshot
+
+    net = build_mesh(MESH)
+    smoke_cycles = 800
+    quick = {"e-cube": ALGOS["e-cube"], "hpl-min": ALGOS["hpl-min"]}
+
+    def sweep():
+        t0 = time.perf_counter()
+        out = {}
+        for name, factory in quick.items():
+            ra = factory(net)
+            sim = WormholeSimulator(
+                ra,
+                BernoulliTraffic(net, rate=0.15, pattern="uniform",
+                                 length=LENGTH, stop_at=smoke_cycles),
+                SimConfig(seed=3, buffer_depth=4, deadlock_check_interval=128),
+            )
+            sim.run(smoke_cycles)
+            assert sim.deadlock is None
+            s = sim.stats.summary(cycles=smoke_cycles, num_nodes=net.num_nodes,
+                                  warmup=200)
+            out[name] = (s.avg_latency, s.throughput_flits_per_node_cycle)
+        return out, time.perf_counter() - t0
+
+    (points, seconds) = once(benchmark, sweep)
+    sim_cycles(smoke_cycles * len(quick))
+    cps = smoke_cycles * len(quick) / seconds
+    table("SIM-MESH smoke (8x8 mesh, uniform 0.15)",
+          ["algorithm", "avg latency", "throughput"],
+          [(n, f"{lat:8.1f}", f"{thpt:.4f}") for n, (lat, thpt) in points.items()])
+    for name, (lat, thpt) in points.items():
+        assert 5 < lat < 100, f"{name}: implausible smoke latency {lat}"
+        assert thpt > 0.10, f"{name}: smoke throughput collapsed ({thpt})"
+
+    recorded = load_snapshot("sim").get("test_sim_mesh_latency_vs_load[uniform]", {})
+    recorded_cps = recorded.get("cycles_per_sec")
+    if recorded_cps:
+        # generous tolerance: smoke must reach 1/5 of the recorded sweep rate
+        assert cps >= recorded_cps / 5, (
+            f"simulator perf regression: smoke ran {cps:.0f} cycles/sec vs "
+            f"{recorded_cps:.0f} recorded in BENCH_sim.json (tolerance 5x)"
+        )

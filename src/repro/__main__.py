@@ -6,7 +6,8 @@ Subcommands
 ``verify-batch``  sweep many algorithms concurrently through the cached pipeline;
 ``catalog``       list the routing algorithms and their certified properties;
 ``dot``           emit the CWG or CDG of an algorithm as Graphviz DOT;
-``simulate``      run the wormhole simulator and print a latency/throughput row.
+``simulate``      run the wormhole simulator and print a latency/throughput row;
+``sim-sweep``     fan a simulation grid across a process pool.
 
 Examples::
 
@@ -16,6 +17,8 @@ Examples::
     python -m repro dot --algorithm incoherent-example --topology figure1 --graph cwg
     python -m repro simulate --algorithm e-cube-mesh --topology mesh --dims 8,8 \
         --rate 0.2 --cycles 3000
+    python -m repro sim-sweep --algorithms e-cube-mesh,highest-positive-last \
+        --patterns uniform,transpose --rates 0.1,0.2,0.3 --seeds 3,5 --jobs 4
 """
 
 from __future__ import annotations
@@ -156,6 +159,40 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def cmd_sim_sweep(args) -> int:
+    from .sim import SweepRunner, grid_points, sweep_table, sweep_to_json
+
+    names = [n.strip() for n in args.algorithms.split(",") if n.strip()]
+    unknown = [n for n in names if n not in CATALOG]
+    if unknown:
+        raise SystemExit(f"unknown algorithms {unknown}; see `python -m repro catalog`")
+    try:
+        rates = tuple(float(x) for x in args.rates.split(","))
+        seeds = tuple(int(x) for x in args.seeds.split(","))
+    except ValueError as exc:
+        raise SystemExit(f"bad --rates/--seeds: {exc}") from None
+    points = grid_points(
+        names,
+        patterns=tuple(p.strip() for p in args.patterns.split(",") if p.strip()),
+        rates=rates,
+        seeds=seeds,
+        cycles=args.cycles,
+        length=args.length,
+        mesh_dims=_parse_dims(args.mesh_dims, "--mesh-dims"),
+        torus_dims=_parse_dims(args.torus_dims, "--torus-dims"),
+        hypercube_dim=args.hypercube_dim,
+    )
+    report = SweepRunner(workers=args.jobs).run(points)
+    rendered = {"table": sweep_table, "json": sweep_to_json}[args.format](report)
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(rendered if rendered.endswith("\n") else rendered + "\n")
+        print(f"wrote {args.format} report for {len(report.points)} points to {args.output}")
+    else:
+        print(rendered)
+    return 1 if report.errors else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -206,8 +243,30 @@ def main(argv: list[str] | None = None) -> int:
     ps.add_argument("--cycles", type=int, default=3000)
     ps.add_argument("--seed", type=int, default=1)
 
+    pw = sub.add_parser(
+        "sim-sweep",
+        help="run a simulation grid (algorithm x pattern x load x seed) in parallel",
+    )
+    pw.add_argument("--algorithms", default="e-cube-mesh",
+                    help="comma-separated catalog names")
+    pw.add_argument("--patterns", default="uniform",
+                    help="comma-separated traffic patterns (see repro.sim.PATTERNS)")
+    pw.add_argument("--rates", default="0.1,0.2,0.3",
+                    help="comma-separated offered loads (flits/node/cycle)")
+    pw.add_argument("--seeds", default="1", help="comma-separated RNG seeds")
+    pw.add_argument("--cycles", type=int, default=2500)
+    pw.add_argument("--length", type=int, default=8, help="message length in flits")
+    pw.add_argument("--jobs", type=int, default=0,
+                    help="worker processes (0/1 = deterministic in-process)")
+    pw.add_argument("--mesh-dims", default="8,8", help="dims for mesh algorithms")
+    pw.add_argument("--torus-dims", default="8,8", help="dims for torus algorithms")
+    pw.add_argument("--hypercube-dim", type=int, default=5,
+                    help="dimension for hypercube algorithms")
+    pw.add_argument("--format", default="table", choices=["table", "json"])
+    pw.add_argument("--output", default=None, help="write the report to a file")
+
     args = parser.parse_args(argv)
-    if args.command not in ("catalog", "verify-batch") and args.topology is None:
+    if args.command not in ("catalog", "verify-batch", "sim-sweep") and args.topology is None:
         args.topology = CATALOG[args.algorithm].topology
     return {
         "catalog": cmd_catalog,
@@ -215,6 +274,7 @@ def main(argv: list[str] | None = None) -> int:
         "verify-batch": cmd_verify_batch,
         "dot": cmd_dot,
         "simulate": cmd_simulate,
+        "sim-sweep": cmd_sim_sweep,
     }[args.command](args)
 
 

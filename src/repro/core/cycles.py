@@ -62,10 +62,10 @@ def iter_simple_cycles(graph: nx.DiGraph, *, limit: int | None = 100_000) -> Ite
     """Yield every simple cycle of ``graph`` as a canonical :class:`Cycle`."""
     count = 0
     for nodes in nx.simple_cycles(graph):
+        if limit is not None and count >= limit:
+            raise CycleExplosion(f"more than {limit} simple cycles; raise the limit explicitly")
         yield Cycle.from_nodes(nodes)
         count += 1
-        if limit is not None and count > limit:
-            raise CycleExplosion(f"more than {limit} simple cycles; raise the limit explicitly")
 
 
 def find_cycles(graph: nx.DiGraph, *, limit: int | None = 100_000) -> list[Cycle]:

@@ -35,6 +35,8 @@ from .properties import (
 from .relation import (
     NodeDestRouting,
     RestrictedWaiting,
+    RouteEntry,
+    RouteTable,
     RoutingAlgorithm,
     RoutingError,
     WaitPolicy,
@@ -73,6 +75,8 @@ __all__ = [
     "RandomSelection",
     "RelaxedEFA",
     "RestrictedWaiting",
+    "RouteEntry",
+    "RouteTable",
     "RingExample",
     "RoundRobinSelection",
     "RoutingAlgorithm",

@@ -32,6 +32,7 @@ from __future__ import annotations
 import enum
 from abc import ABC, abstractmethod
 from collections.abc import Iterable
+from typing import NamedTuple
 
 from ..topology.channel import Channel
 from ..topology.network import Network
@@ -174,6 +175,109 @@ class RestrictedWaiting(RoutingAlgorithm):
 
     def waiting_channels(self, c_in: Channel, node: int, dest: int) -> frozenset[Channel]:
         return self.inner.waiting_channels(c_in, node, dest)
+
+
+class RouteEntry(NamedTuple):
+    """One cached routing decision: everything ``R(c_in, node, dest)`` pins.
+
+    The permitted and waiting channels are stored both as dense channel-id
+    tuples (the simulator's fast allocator walks these with integer state
+    only) and as :class:`Channel` tuples in the same order (handed to
+    custom selection functions, which keep their object interface).
+    """
+
+    #: permitted output cids, pre-sorted by the allocator's priority key
+    cand_cids: tuple[int, ...]
+    #: the same channels as objects, same order
+    cand_channels: tuple[Channel, ...]
+    #: waiting-channel cids, pre-sorted by the same key
+    wait_cids: tuple[int, ...]
+    #: the same waiting channels as objects, same order
+    wait_channels: tuple[Channel, ...]
+    #: the raw waiting set (what a blocked message's ``waiting_for`` holds)
+    wait_set: frozenset[Channel]
+
+
+class RouteTable:
+    """Dense cache of a routing relation, indexed by ``(input cid, dest)``.
+
+    The relation ``R(c_in, node, dest)`` is a pure function of the input
+    channel and the destination (``node`` is always ``c_in.dst``), so the
+    simulator need never call :meth:`RoutingAlgorithm.route` twice for the
+    same pair -- yet the original allocator did exactly that every cycle for
+    every blocked message, then re-sorted the result with per-message
+    closures.  This table computes each entry once, pre-sorted by the
+    allocator's ``(remaining distance, U-turn, vc, cid)`` priority key, and
+    serves it from a flat list indexed by ``cid * num_nodes + dest``.
+
+    Entries are filled lazily: only ``(c_in, dest)`` pairs traffic actually
+    exercises are ever computed, so construction is O(1) even on large
+    networks.  ``hits`` / ``misses`` are exposed for observability.
+
+    Parameters
+    ----------
+    algorithm:
+        The relation to cache.
+    dist:
+        Optional all-pairs distance matrix (``dist[node][dest]``).  When
+        given, candidates are ordered progress-first exactly as the
+        simulator's ``prefer_minimal`` mode orders them; when ``None``,
+        candidates are in raw cid order.
+    """
+
+    def __init__(self, algorithm: RoutingAlgorithm, *, dist: list[list[int]] | None = None) -> None:
+        self.algorithm = algorithm
+        net = algorithm.network
+        self._net = net
+        self._num_nodes = net.num_nodes
+        self._dist = dist
+        self._entries: list[RouteEntry | None] = [None] * (net.num_channels * net.num_nodes)
+        self.hits = 0
+        self.misses = 0
+
+    def entry(self, c_in_cid: int, dest: int) -> RouteEntry:
+        """The cached decision for a header that arrived on ``c_in_cid``."""
+        idx = c_in_cid * self._num_nodes + dest
+        e = self._entries[idx]
+        if e is not None:
+            self.hits += 1
+            return e
+        self.misses += 1
+        e = self._build(c_in_cid, dest)
+        self._entries[idx] = e
+        return e
+
+    def _build(self, c_in_cid: int, dest: int) -> RouteEntry:
+        c_in = self._net.channel(c_in_cid)
+        node = c_in.dst
+        algo = self.algorithm
+        permitted = algo.route(c_in, node, dest)
+        if type(algo).waiting_channels is RoutingAlgorithm.waiting_channels:
+            # default waiting set == route set: skip the second route() call
+            waiting = permitted
+        else:
+            waiting = algo.waiting_channels(c_in, node, dest)
+        if self._dist is not None:
+            dist = self._dist
+            prev = c_in.src if c_in.is_link else -1
+            # progress first, then avoid immediate U-turns, then stable
+            key = lambda c: (dist[c.dst][dest], c.dst == prev, c.vc, c.cid)  # noqa: E731
+        else:
+            key = lambda c: c.cid  # noqa: E731
+        cands = tuple(sorted(permitted, key=key))
+        waits = tuple(sorted(waiting, key=key))
+        return RouteEntry(
+            cand_cids=tuple(c.cid for c in cands),
+            cand_channels=cands,
+            wait_cids=tuple(c.cid for c in waits),
+            wait_channels=waits,
+            wait_set=waiting if isinstance(waiting, frozenset) else frozenset(waiting),
+        )
+
+    def stats(self) -> dict[str, int]:
+        """Cache-style counters for observability reports."""
+        filled = sum(1 for e in self._entries if e is not None)
+        return {"hits": self.hits, "misses": self.misses, "entries": filled}
 
 
 def as_cnd(algorithm: RoutingAlgorithm) -> RoutingAlgorithm:

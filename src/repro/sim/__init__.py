@@ -10,6 +10,16 @@ from .deadlock import DeadlockDetector, DeadlockReport
 from .engine import WormholeSimulator
 from .message import Message
 from .stats import SimStats, StatsSummary
+from .sweep import (
+    PointResult,
+    SimPoint,
+    SweepReport,
+    SweepRunner,
+    grid_points,
+    run_point,
+    sweep_table,
+    sweep_to_json,
+)
 from .traffic import (
     PATTERNS,
     BernoulliTraffic,
@@ -31,15 +41,23 @@ __all__ = [
     "DeadlockDetector",
     "DeadlockReport",
     "Message",
+    "PointResult",
     "ScriptedTraffic",
     "SimConfig",
+    "SimPoint",
     "SimStats",
     "StatsSummary",
+    "SweepReport",
+    "SweepRunner",
     "TrafficSource",
     "WormholeSimulator",
     "bit_complement_pattern",
     "bit_reverse_pattern",
+    "grid_points",
     "hotspot_pattern",
+    "run_point",
+    "sweep_table",
+    "sweep_to_json",
     "tornado_pattern",
     "transpose_pattern",
     "uniform_pattern",

@@ -27,6 +27,13 @@ class SimConfig:
     #: id); the default selection takes the first free one, preserving that
     #: priority.  Re-sorting selections (RandomSelection, highest_vc_first,
     #: ...) impose their own preference instead.
+    #:
+    #: Note for *stateful* selections (RandomSelection, RoundRobinSelection):
+    #: the event-driven allocator only re-invokes the selection when a
+    #: blocked message's candidate set may have changed, instead of every
+    #: cycle.  The chosen channels are the same for stateless selections;
+    #: stateful ones see fewer invocations and hence a different internal
+    #: state trajectory than a scan-every-cycle allocator would produce.
     selection: SelectionFunction = field(default=first_free)
     #: override the routing algorithm's wait policy (None = respect it)
     wait_policy_override: WaitPolicy | None = None

@@ -72,11 +72,12 @@ class DeadlockDetector:
             i = m.held.index(w)
         except ValueError:
             return True  # already released
+        bufs = sim._buf
         to_pass = (m.length - m.flits_injected) + sum(
-            len(sim.buffers[m.held[j]]) for j in range(i + 1)
+            len(bufs[m.held[j].cid]) for j in range(i + 1)
         )
         capacity_ahead = sum(
-            sim.config.buffer_depth - len(sim.buffers[m.held[j]])
+            sim.config.buffer_depth - len(bufs[m.held[j].cid])
             for j in range(i + 1, len(m.held))
         )
         return to_pass <= capacity_ahead
@@ -98,8 +99,8 @@ class DeadlockDetector:
                 m = blocked[mid]
                 assert m.waiting_for is not None
                 for w in sorted(m.waiting_for, key=lambda c: c.cid):
-                    owner = sim.owner[w]
-                    if owner is None or owner not in marked or \
+                    owner = sim._owner[w.cid]
+                    if owner < 0 or owner not in marked or \
                             self._can_release_without_head_progress(owner, w):
                         # w is free, its owner can still move, or the owner can
                         # drain past w without head progress: m may yet proceed

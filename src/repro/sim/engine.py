@@ -29,16 +29,43 @@ Each simulated cycle has three phases:
 
 The engine is deterministic given the config seed: all iteration orders are
 fixed, and stochastic choices draw from one owned RNG.
+
+Fast path
+---------
+The observable semantics above are produced from flat, integer-indexed
+state (the structure-of-arrays layout cycle-accurate NoC simulators use)
+rather than per-flit objects and channel-keyed dictionaries:
+
+* channel ownership, buffer queues, and held-position links are lists
+  indexed by dense channel id; a flit is one packed int
+  (``mid << 2 | is_head << 1 | is_tail``);
+* routing decisions come from a :class:`~repro.routing.relation.RouteTable`
+  that caches ``R(c_in, node, dest)`` pre-sorted by the allocator's
+  priority key, so the relation is consulted once per ``(input channel,
+  destination)`` pair instead of once per blocked message per cycle;
+* allocation is event-driven: a dirty set tracks exactly the messages
+  whose decision could have changed (a header reached a queue front, a
+  channel they wait on freed, they reached the front of a source queue),
+  so quiescent cycles do no allocation work at all;
+* transmission visits only physical links with at least one owned virtual
+  channel.
+
+``SimStats.digest()`` is byte-identical to the original per-object engine
+-- the golden matrix in ``tests/fixtures/sim_golden_digests.json`` pins
+this.  The channel-keyed ``owner`` / ``buffers`` mappings remain available
+as read-only views for tests and analysis code.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from collections import deque
-
+from collections.abc import Iterator, Mapping
 
 import numpy as np
 
-from ..routing.relation import RoutingAlgorithm, WaitPolicy
+from ..routing.relation import RouteTable, RoutingAlgorithm, WaitPolicy
+from ..routing.selection import first_free
 from ..topology.channel import Channel
 from .config import SimConfig
 from .deadlock import DeadlockDetector, DeadlockReport
@@ -46,8 +73,52 @@ from .message import Message
 from .stats import SimStats
 from .traffic import TrafficSource
 
-#: flit record: (message id, is_head, is_tail)
+#: flit record as exposed by the ``buffers`` view: (message id, is_head, is_tail)
 Flit = tuple[int, bool, bool]
+
+#: packed-flit flag bits (internal layout: ``mid << 2 | HEAD | TAIL``)
+_HEAD = 2
+_TAIL = 1
+
+
+class _OwnerView(Mapping):
+    """Read-only ``Channel -> mid | None`` view over the dense owner array."""
+
+    __slots__ = ("_sim",)
+
+    def __init__(self, sim: "WormholeSimulator") -> None:
+        self._sim = sim
+
+    def __getitem__(self, channel: Channel) -> int | None:
+        mid = self._sim._owner[channel.cid]
+        return None if mid < 0 else mid
+
+    def __iter__(self) -> Iterator[Channel]:
+        return iter(self._sim._link_channels)
+
+    def __len__(self) -> int:
+        return len(self._sim._link_channels)
+
+
+class _BuffersView(Mapping):
+    """Read-only ``Channel -> tuple[Flit, ...]`` view decoding packed flits."""
+
+    __slots__ = ("_sim",)
+
+    def __init__(self, sim: "WormholeSimulator") -> None:
+        self._sim = sim
+
+    def __getitem__(self, channel: Channel) -> tuple[Flit, ...]:
+        return tuple(
+            (f >> 2, bool(f & _HEAD), bool(f & _TAIL))
+            for f in self._sim._buf[channel.cid]
+        )
+
+    def __iter__(self) -> Iterator[Channel]:
+        return iter(self._sim._link_channels)
+
+    def __len__(self) -> int:
+        return len(self._sim._link_channels)
 
 
 class WormholeSimulator:
@@ -71,24 +142,65 @@ class WormholeSimulator:
         #: undelivered message ids, ascending (allocation order = oldest first)
         self._active: list[int] = []
         self._next_mid = 0
-        #: per-channel flit queue (flits that have traversed the channel)
-        self.buffers: dict[Channel, deque[Flit]] = {
-            c: deque() for c in self.network.link_channels
-        }
-        #: channel ownership (Assumption 3/4)
-        self.owner: dict[Channel, int | None] = {c: None for c in self.network.link_channels}
         #: channels marked faulty (Definition 3's fault-tolerant status set);
         #: faulty channels are never allocated
         self.faulty: set[Channel] = set()
         #: per-node FIFO source queues of message ids
         self.source_queues: list[deque[int]] = [deque() for _ in self.network.nodes]
-        #: physical links and their VCs, in deterministic order
-        self._links: list[tuple[tuple[int, int], list[Channel]]] = self._group_links()
-        self._rr: dict[tuple[int, int], int] = {link: 0 for link, _ in self._links}
         self.stats = SimStats()
         self.detector = DeadlockDetector(self)
         self.deadlock: DeadlockReport | None = None
         self._dist = self.network.shortest_distances() if self.config.prefer_minimal else None
+
+        # -- flat per-channel state (indexed by dense cid) ----------------
+        net = self.network
+        num_ch = net.num_channels
+        self._chan: list[Channel] = list(net.channels)
+        self._link_channels: list[Channel] = net.link_channels
+        #: owning message id per channel, -1 = free
+        self._owner: list[int] = [-1] * num_ch
+        #: per-channel flit queue of packed ints
+        self._buf: list[deque[int]] = [deque() for _ in range(num_ch)]
+        #: cid of the held channel immediately tail-ward in the owner's path,
+        #: -1 when the channel's flits come from the source queue
+        self._prev: list[int] = [-1] * num_ch
+        self._faulty_mask = bytearray(num_ch)
+        self._inj_cid: list[int] = [net.injection_channel(n).cid for n in net.nodes]
+
+        #: physical links and their VCs, in deterministic order
+        self._links: list[tuple[tuple[int, int], list[Channel]]] = self._group_links()
+        self._link_vcs: list[list[int]] = [[c.cid for c in vcs] for _, vcs in self._links]
+        self._rr: list[int] = [0] * len(self._links)
+        self._link_of: list[int] = [-1] * num_ch
+        for li, cids in enumerate(self._link_vcs):
+            for cid in cids:
+                self._link_of[cid] = li
+        #: owned-VC count per physical link; idle links are skipped entirely
+        self._link_owned: list[int] = [0] * len(self._links)
+
+        # -- event-driven allocation state --------------------------------
+        #: messages whose routing decision could have changed since their
+        #: last allocation visit
+        self._dirty: set[int] = set()
+        #: per-channel blocked waiters as (mid, registration version)
+        self._waiters: list[list[tuple[int, int]]] = [[] for _ in range(num_ch)]
+        #: per-message registration version; bumping invalidates stale entries
+        self._wait_ver: list[int] = []
+        #: header-arrived, undelivered message ids, ascending
+        self._arrived: list[int] = []
+        self._specific = self.wait_policy is WaitPolicy.SPECIFIC
+        self._fast_sel = self.config.selection is first_free
+        self._route_table = RouteTable(algorithm, dist=self._dist)
+
+        # -- observability -------------------------------------------------
+        #: messages visited by the allocator (event-driven wakeups)
+        self.alloc_wakeups = 0
+        #: cycles whose allocation phase had nothing to do
+        self.alloc_idle_cycles = 0
+
+        # channel-keyed read-only views (test/analysis API)
+        self.owner = _OwnerView(self)
+        self.buffers = _BuffersView(self)
 
     # ------------------------------------------------------------------
     def _group_links(self) -> list[tuple[tuple[int, int], list[Channel]]]:
@@ -113,144 +225,217 @@ class WormholeSimulator:
         self._next_mid += 1
         self.messages[m.mid] = m
         self._active.append(m.mid)
-        self.source_queues[src].append(m.mid)
+        self._wait_ver.append(0)
+        q = self.source_queues[src]
+        q.append(m.mid)
+        if len(q) == 1:  # at the queue front: may route next allocation
+            self._dirty.add(m.mid)
         self.stats.offered_flits += length
         return m
 
     # ------------------------------------------------------------------
     # cycle phases
     # ------------------------------------------------------------------
-    def _routing_state(self, m: Message) -> tuple[Channel, int] | None:
-        """(input channel, node) if the header currently needs an output.
-
-        Returns None when the message has no routing decision pending: not
-        yet at the front of its source queue, header not at a queue front,
-        or already arrived.
-        """
-        if m.header_arrived:
-            return None
-        lead = m.leading_channel
-        if lead is None:
-            # still in the source queue; only the front message may inject
-            q = self.source_queues[m.src]
-            if not q or q[0] != m.mid:
-                return None
-            return (self.network.injection_channel(m.src), m.src)
-        buf = self.buffers[lead]
-        if not buf or not buf[0][1]:  # header not at the front
-            return None
-        return (lead, lead.dst)
+    def _on_free(self, cid: int) -> None:
+        """A channel freed: wake every validly registered waiter."""
+        waiters = self._waiters[cid]
+        if waiters:
+            ver = self._wait_ver
+            dirty = self._dirty
+            for mid, v in waiters:
+                if ver[mid] == v:
+                    dirty.add(mid)
+            waiters.clear()
 
     def _phase_allocate(self) -> None:
-        # Oldest message first: prevents starvation (Assumption 5).
-        for mid in self._active:
-            m = self.messages[mid]
-            state = self._routing_state(m)
-            if state is None:
+        dirty = self._dirty
+        if not dirty:
+            self.alloc_idle_cycles += 1
+            return
+        # Oldest message first: prevents starvation (Assumption 5).  Only
+        # messages whose decision could have changed are visited; everyone
+        # else would reproduce last cycle's outcome verbatim.
+        mids = sorted(dirty)
+        dirty.clear()
+        messages = self.messages
+        owner = self._owner
+        faulty = self._faulty_mask
+        bufs = self._buf
+        queues = self.source_queues
+        table = self._route_table
+        chan = self._chan
+        specific = self._specific
+        fast_sel = self._fast_sel
+        cycle = self.cycle
+        wakeups = 0
+        for mid in mids:
+            m = messages[mid]
+            if m.header_arrived:
                 continue
-            c_in, node = state
-            if node == m.dest:
+            held = m.held
+            if held:
+                lead = held[-1]
+                buf = bufs[lead.cid]
+                if not buf or not (buf[0] & _HEAD):
+                    continue  # header not at the queue front
+                c_in_cid = lead.cid
+                node = lead.dst
+            else:
+                # still in the source queue; only the front message may inject
+                q = queues[m.src]
+                if not q or q[0] != mid:
+                    continue
+                c_in_cid = self._inj_cid[m.src]
+                node = m.src
+            wakeups += 1
+            dest = m.dest
+            if node == dest:
                 m.header_arrived = True
                 m.waiting_for = None
+                insort(self._arrived, mid)
                 continue
-            permitted = self.algorithm.route(c_in, node, m.dest)
-            if m.waiting_for is not None and self.wait_policy is WaitPolicy.SPECIFIC:
-                # committed: may acquire only a designated waiting channel
-                pool = m.waiting_for
+            entry = table.entry(c_in_cid, dest)
+            committed = specific and m.waiting_for is not None
+            # committed: may acquire only a designated waiting channel
+            cand_cids = entry.wait_cids if committed else entry.cand_cids
+            if fast_sel:
+                choice = -1
+                for cid in cand_cids:
+                    if owner[cid] < 0 and not faulty[cid]:
+                        choice = cid
+                        break
             else:
-                pool = permitted
-            if self._dist is not None:
-                dist = self._dist
-                prev = c_in.src if c_in.is_link else -1
-                # progress first, then avoid immediate U-turns, then stable
-                candidates = sorted(
-                    pool,
-                    key=lambda c: (dist[c.dst][m.dest], c.dst == prev, c.vc, c.cid),
-                )
-            else:
-                candidates = sorted(pool, key=lambda c: c.cid)
-            free = lambda c: self.owner[c] is None and c not in self.faulty
-            choice = self.config.selection(c_in, candidates, free)
-            if choice is not None:
-                self.owner[choice] = m.mid
-                m.held.append(choice)
+                cands = entry.wait_channels if committed else entry.cand_channels
+                free = lambda c: owner[c.cid] < 0 and not faulty[c.cid]  # noqa: E731
+                picked = self.config.selection(chan[c_in_cid], cands, free)
+                choice = -1 if picked is None else picked.cid
+            if choice >= 0:
+                owner[choice] = mid
+                self._prev[choice] = c_in_cid if held else -1
+                held.append(chan[choice])
+                self._link_owned[self._link_of[choice]] += 1
                 m.hops += 1
                 m.waiting_for = None
-                m.last_progress = self.cycle
+                m.last_progress = cycle
                 if m.started is None:
-                    m.started = self.cycle
+                    m.started = cycle
+                self._wait_ver[mid] += 1  # invalidate stale registrations
             else:
-                if m.waiting_for is None or self.wait_policy is not WaitPolicy.SPECIFIC:
-                    m.waiting_for = self.algorithm.waiting_channels(c_in, node, m.dest)
+                if m.waiting_for is None or not specific:
+                    m.waiting_for = entry.wait_set
+                # register on the pool the next decision will draw from
+                pool = entry.wait_cids if specific else entry.cand_cids
+                ver = self._wait_ver[mid] + 1
+                self._wait_ver[mid] = ver
+                waiters = self._waiters
+                for cid in pool:
+                    waiters[cid].append((mid, ver))
+        self.alloc_wakeups += wakeups
 
     def _phase_transmit(self) -> None:
         depth = self.config.buffer_depth
-        for link, vcs in self._links:
+        owner = self._owner
+        bufs = self._buf
+        prev = self._prev
+        messages = self.messages
+        link_vcs = self._link_vcs
+        link_owned = self._link_owned
+        rr = self._rr
+        queues = self.source_queues
+        dirty = self._dirty
+        cycle = self.cycle
+        hops = 0
+        for li in range(len(link_vcs)):
+            if not link_owned[li]:
+                continue
+            vcs = link_vcs[li]
             n = len(vcs)
-            start = self._rr[link]
+            start = rr[li]
             for k in range(n):
-                c = vcs[(start + k) % n]
-                mid = self.owner[c]
-                if mid is None:
+                j = start + k
+                cid = vcs[j - n if j >= n else j]
+                mid = owner[cid]
+                if mid < 0:
                     continue
-                m = self.messages[mid]
-                buf = self.buffers[c]
+                buf = bufs[cid]
                 if len(buf) >= depth:
                     continue
-                idx = m.held.index(c)
-                if idx == 0:
+                m = messages[mid]
+                p = prev[cid]
+                if p < 0:
                     # flit comes from the source queue
-                    if m.flits_injected >= m.length:
+                    fi = m.flits_injected
+                    if fi >= m.length:
                         continue
-                    is_head = m.flits_injected == 0
-                    is_tail = m.flits_injected == m.length - 1
-                    buf.append((mid, is_head, is_tail))
-                    m.flits_injected += 1
-                    if is_tail:
-                        q = self.source_queues[m.src]
+                    flit = (mid << 2) \
+                        | (_HEAD if fi == 0 else 0) \
+                        | (_TAIL if fi == m.length - 1 else 0)
+                    buf.append(flit)
+                    m.flits_injected = fi + 1
+                    if flit & _TAIL:
+                        q = queues[m.src]
                         if q and q[0] == mid:
                             q.popleft()
+                            if q:  # next message reaches the queue front
+                                dirty.add(q[0])
                 else:
-                    prev = m.held[idx - 1]
-                    pbuf = self.buffers[prev]
+                    pbuf = bufs[p]
                     if not pbuf:
                         continue
                     flit = pbuf.popleft()
                     buf.append(flit)
-                    if flit[2]:  # tail left prev: release it
-                        self.owner[prev] = None
-                        m.held.pop(idx - 1)
-                self._rr[link] = (start + k + 1) % n
-                self.stats.flit_hops += 1
-                m.last_progress = self.cycle
+                    if flit & _TAIL:  # tail left prev: release it
+                        owner[p] = -1
+                        prev[cid] = prev[p]
+                        m.held.pop(0)
+                        link_owned[self._link_of[p]] -= 1
+                        self._on_free(p)
+                if flit & _HEAD:  # header at a new queue front: must route
+                    dirty.add(mid)
+                rr[li] = (start + k + 1) % n
+                hops += 1
+                m.last_progress = cycle
                 break  # one flit per physical link per cycle
+        self.stats.flit_hops += hops
 
     def _phase_eject(self) -> None:
+        arrived = self._arrived
+        if not arrived:
+            return
+        rate = self.config.ejection_rate
+        messages = self.messages
+        bufs = self._buf
+        stats = self.stats
+        consumed_at = stats._consumed_at
+        cycle = self.cycle
         done = False
-        for mid in self._active:
-            m = self.messages[mid]
-            if not m.header_arrived:
+        for mid in arrived:
+            m = messages[mid]
+            held = m.held
+            if not held:
                 continue
-            lead = m.leading_channel
-            if lead is None:
-                continue
-            buf = self.buffers[lead]
-            for _ in range(self.config.ejection_rate):
+            lead_cid = held[-1].cid
+            buf = bufs[lead_cid]
+            for _ in range(rate):
                 if not buf:
                     break
                 flit = buf.popleft()
                 m.flits_consumed += 1
-                self.stats.note_consumed(self.cycle)
-                if flit[2]:  # tail consumed: message delivered
-                    self.owner[lead] = None
-                    m.held.remove(lead)
-                    assert not m.held, "tail consumed while channels still held"
-                    m.finished = self.cycle
-                    self.stats.note_delivered(m)
+                stats.consumed_flits += 1
+                consumed_at.append(cycle)
+                if flit & _TAIL:  # tail consumed: message delivered
+                    self._owner[lead_cid] = -1
+                    self._link_owned[self._link_of[lead_cid]] -= 1
+                    held.pop()
+                    assert not held, "tail consumed while channels still held"
+                    m.finished = cycle
+                    stats.note_delivered(m)
+                    self._on_free(lead_cid)
                     done = True
                     break
         if done:
-            self._active = [mid for mid in self._active if not self.messages[mid].delivered]
+            self._active = [mid for mid in self._active if messages[mid].finished is None]
+            self._arrived = [mid for mid in arrived if messages[mid].finished is None]
 
     def _phase_traffic(self) -> None:
         for src, dest, length in self.traffic.messages_for_cycle(self.cycle, self.rng):
@@ -310,13 +495,17 @@ class WormholeSimulator:
         """
         if not channel.is_link:
             raise ValueError(f"{channel!r} is not a link channel")
-        if self.owner[channel] is not None:
+        if self._owner[channel.cid] >= 0:
             raise ValueError(f"{channel!r} is occupied; only idle channels can fail")
         self.faulty.add(channel)
+        self._faulty_mask[channel.cid] = 1
 
     def repair_channel(self, channel: Channel) -> None:
         """Clear a channel's faulty status."""
-        self.faulty.discard(channel)
+        if channel in self.faulty:
+            self.faulty.discard(channel)
+            self._faulty_mask[channel.cid] = 0
+            self._on_free(channel.cid)  # waiters may acquire it now
 
     def stalled_messages(self) -> list[Message]:
         """Blocked messages whose every waiting channel is faulty.
@@ -337,6 +526,19 @@ class WormholeSimulator:
     def blocked_messages(self) -> list[Message]:
         """Messages currently blocked on a waiting set."""
         return [m for m in self.in_flight if m.waiting_for is not None]
+
+    def perf_counters(self) -> dict[str, int]:
+        """Fast-path observability counters (route-table cache, wakeups)."""
+        rt = self._route_table.stats()
+        return {
+            "cycles": self.cycle,
+            "alloc_wakeups": self.alloc_wakeups,
+            "alloc_idle_cycles": self.alloc_idle_cycles,
+            "route_table_hits": rt["hits"],
+            "route_table_misses": rt["misses"],
+            "route_table_entries": rt["entries"],
+            "flit_hops": self.stats.flit_hops,
+        }
 
 
 class _SilentTraffic:

@@ -16,13 +16,15 @@ from dataclasses import dataclass, field
 from ..topology.channel import Channel
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One packet/message in flight (the paper uses the terms interchangeably).
 
     The simulator tracks, per message, the ordered list of channels it
     currently occupies (tail-most first), how many flits have entered the
-    network, and how many have been consumed at the destination.
+    network, and how many have been consumed at the destination.  Slots keep
+    the per-message footprint small; at high load tens of thousands of these
+    are live at once.
     """
 
     mid: int

@@ -1,0 +1,310 @@
+"""Parallel simulation sweeps: (algorithm, traffic, load, seed) grids.
+
+The paper's Figures 5-6 evidence comes from sweeping the simulator over a
+grid of operating points.  One point is one independent deterministic run,
+so a sweep is embarrassingly parallel: this module fans grid points across
+a ``concurrent.futures`` process pool exactly the way the verification
+pipeline fans :class:`~repro.pipeline.engine.JobSpec` jobs -- plain
+picklable point descriptions in, ordered results out, a worker failure
+degrading to in-process execution rather than a lost point.
+
+Every point carries per-stage timers and the engine's fast-path counters
+(cycles/sec, route-table hits/misses, allocation wakeups) through
+:class:`~repro.pipeline.observability.StageMetrics`, and the per-point
+``SimStats.digest()`` rides along so two sweeps -- serial or parallel, any
+worker count -- can be compared for bit-identical behavior.
+
+CLI: ``python -m repro sim-sweep`` (see ``--help``).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..pipeline.observability import StageMetrics
+from ..routing.catalog import CATALOG, make
+from .config import SimConfig
+from .engine import WormholeSimulator
+from .traffic import BernoulliTraffic
+
+
+@dataclass(frozen=True)
+class SimPoint:
+    """One grid point -- plain picklable data, never live objects."""
+
+    algorithm: str
+    topology: str
+    dims: tuple[int, ...] | None = None
+    vcs: int | None = None
+    pattern: str = "uniform"
+    rate: float = 0.2
+    seed: int = 1
+    length: int = 8
+    cycles: int = 2500
+    warmup: int = 400
+    buffer_depth: int = 4
+    deadlock_check_interval: int = 128
+
+    def build(self) -> WormholeSimulator:
+        from ..pipeline.engine import build_topology
+
+        net = build_topology(self.topology, self.dims, self.vcs)
+        ra = make(self.algorithm, net)
+        traffic = BernoulliTraffic(
+            net, rate=self.rate, pattern=self.pattern,
+            length=self.length, stop_at=self.cycles,
+        )
+        config = SimConfig(
+            seed=self.seed,
+            buffer_depth=self.buffer_depth,
+            deadlock_check_interval=self.deadlock_check_interval,
+        )
+        return WormholeSimulator(ra, traffic, config)
+
+    def describe(self) -> str:
+        dims = ",".join(map(str, self.dims)) if self.dims else "-"
+        return (
+            f"{self.algorithm}@{self.topology}({dims}) "
+            f"{self.pattern} rate={self.rate} seed={self.seed}"
+        )
+
+
+@dataclass
+class PointResult:
+    """Outcome of one grid point."""
+
+    point: SimPoint
+    digest: str = ""
+    seconds: float = 0.0
+    cycles_per_sec: float = 0.0
+    messages_delivered: int = 0
+    avg_latency: float = 0.0
+    throughput: float = 0.0
+    deadlock_cycle: int | None = None
+    error: str | None = None
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class SweepReport:
+    """A whole sweep: ordered point results plus aggregate observability."""
+
+    points: list[PointResult]
+    seconds: float
+    workers: int
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def errors(self) -> list[PointResult]:
+        return [p for p in self.points if not p.ok]
+
+    def digests(self) -> dict[str, str]:
+        """point description -> stats digest (the sweep's behavioral identity)."""
+        return {p.point.describe(): p.digest for p in self.points}
+
+
+# ----------------------------------------------------------------------
+def grid_points(
+    algorithms: list[str],
+    *,
+    patterns: tuple[str, ...] = ("uniform",),
+    rates: tuple[float, ...] = (0.1, 0.2, 0.3),
+    seeds: tuple[int, ...] = (1,),
+    cycles: int = 2500,
+    length: int = 8,
+    mesh_dims: tuple[int, ...] = (8, 8),
+    torus_dims: tuple[int, ...] = (8, 8),
+    hypercube_dim: int = 5,
+) -> list[SimPoint]:
+    """Cross cataloged algorithms with traffic patterns, loads, and seeds.
+
+    Topology, dims, and VC count come from each algorithm's catalog entry,
+    mirroring :func:`~repro.pipeline.engine.catalog_specs`.
+    """
+    dims_for: dict[str, tuple[int, ...] | None] = {
+        "mesh": mesh_dims,
+        "torus": torus_dims,
+        "hypercube": (hypercube_dim,),
+        "figure1": None,
+        "figure4": None,
+    }
+    points = []
+    for name in algorithms:
+        entry = CATALOG[name]
+        for pattern in patterns:
+            for rate in rates:
+                for seed in seeds:
+                    points.append(SimPoint(
+                        algorithm=name,
+                        topology=entry.topology,
+                        dims=dims_for[entry.topology],
+                        vcs=entry.min_vcs,
+                        pattern=pattern,
+                        rate=rate,
+                        seed=seed,
+                        cycles=cycles,
+                        length=length,
+                    ))
+    return points
+
+
+# ----------------------------------------------------------------------
+def run_point(point: SimPoint) -> PointResult:
+    """Run one grid point in-process; exceptions become an error result."""
+    metrics = StageMetrics()
+    out = PointResult(point=point)
+    t0 = time.perf_counter()
+    try:
+        with metrics.timer("build"):
+            sim = point.build()
+        with metrics.timer("run"):
+            sim.run(point.cycles)
+        if sim.deadlock is not None:
+            out.deadlock_cycle = sim.deadlock.cycle
+            metrics.count("deadlocks")
+        with metrics.timer("summarize"):
+            s = sim.stats.summary(
+                cycles=sim.cycle,
+                num_nodes=sim.network.num_nodes,
+                warmup=point.warmup,
+            )
+            out.digest = sim.stats.digest()
+        out.messages_delivered = s.messages_delivered
+        out.avg_latency = s.avg_latency
+        out.throughput = s.throughput_flits_per_node_cycle
+        for name, value in sim.perf_counters().items():
+            metrics.count(name, value)
+    except Exception as exc:  # graceful degradation: report, don't propagate
+        out.error = f"{type(exc).__name__}: {exc}"
+    out.seconds = time.perf_counter() - t0
+    run_time = metrics.timers.get("run", 0.0)
+    if run_time > 0 and out.error is None:
+        out.cycles_per_sec = sim.cycle / run_time
+    out.metrics = metrics.snapshot()
+    return out
+
+
+class SweepRunner:
+    """Runs grid points serially or on a process pool.
+
+    ``workers`` of ``None``, 0, or 1 selects the deterministic in-process
+    mode; ``n > 1`` a ``ProcessPoolExecutor``.  Pool failures degrade to
+    in-process execution of the affected points, so a sweep always yields
+    one result per point, in point order -- and because each point is an
+    independent deterministic simulation, serial and parallel sweeps
+    produce identical digests.
+    """
+
+    def __init__(self, *, workers: int | None = None) -> None:
+        self.workers = int(workers or 0)
+
+    def run(self, points: list[SimPoint]) -> SweepReport:
+        t0 = time.perf_counter()
+        if self.workers > 1:
+            results = self._run_pool(points)
+        else:
+            results = [run_point(p) for p in points]
+        merged = StageMetrics()
+        for r in results:
+            merged.merge(r.metrics)
+        return SweepReport(
+            points=results,
+            seconds=time.perf_counter() - t0,
+            workers=max(self.workers, 1),
+            metrics=merged.snapshot(),
+        )
+
+    def _run_pool(self, points: list[SimPoint]) -> list[PointResult]:
+        try:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                futures = [pool.submit(run_point, p) for p in points]
+                results = []
+                for point, fut in zip(points, futures):
+                    try:
+                        results.append(fut.result())
+                    except Exception:  # worker death/transport failure: retry here
+                        results.append(run_point(point))
+                return results
+        except OSError:
+            # pool could not start at all: deterministic serial fallback
+            return [run_point(p) for p in points]
+
+
+# ----------------------------------------------------------------------
+# rendering (shared by the CLI and tests)
+# ----------------------------------------------------------------------
+def sweep_table(report: SweepReport) -> str:
+    """Fixed-width table: one row per point plus the observability footer."""
+    header = (
+        f"{'algorithm':<24} {'pattern':<14} {'rate':>5} {'seed':>4} "
+        f"{'msgs':>6} {'latency':>8} {'thpt':>7} {'cyc/s':>9}  {'digest':<12} status"
+    )
+    lines = [header, "-" * len(header)]
+    for r in report.points:
+        p = r.point
+        if not r.ok:
+            status = f"ERROR {r.error}"
+        elif r.deadlock_cycle is not None:
+            status = f"deadlock@{r.deadlock_cycle}"
+        else:
+            status = "ok"
+        lines.append(
+            f"{p.algorithm:<24} {p.pattern:<14} {p.rate:>5.2f} {p.seed:>4} "
+            f"{r.messages_delivered:>6} {r.avg_latency:>8.1f} {r.throughput:>7.4f} "
+            f"{r.cycles_per_sec:>9.0f}  {r.digest[:12]:<12} {status}"
+        )
+    lines.append("")
+    lines.append(
+        f"{len(report.points)} points in {report.seconds:.2f}s "
+        f"({report.workers} worker{'s' if report.workers != 1 else ''})"
+    )
+    merged = StageMetrics()
+    merged.merge(report.metrics)
+    if merged.timers or merged.counters:
+        lines.append(merged.describe())
+    return "\n".join(lines)
+
+
+def sweep_to_json(report: SweepReport) -> str:
+    """JSON rendering with every per-point field and the merged metrics."""
+    import json
+    import math
+
+    def num(x: float) -> float | None:
+        return None if isinstance(x, float) and math.isnan(x) else x
+
+    return json.dumps({
+        "seconds": round(report.seconds, 6),
+        "workers": report.workers,
+        "metrics": report.metrics,
+        "points": [
+            {
+                "algorithm": r.point.algorithm,
+                "topology": r.point.topology,
+                "dims": list(r.point.dims) if r.point.dims else None,
+                "vcs": r.point.vcs,
+                "pattern": r.point.pattern,
+                "rate": r.point.rate,
+                "seed": r.point.seed,
+                "cycles": r.point.cycles,
+                "length": r.point.length,
+                "digest": r.digest,
+                "seconds": round(r.seconds, 6),
+                "cycles_per_sec": round(r.cycles_per_sec, 1),
+                "messages_delivered": r.messages_delivered,
+                "avg_latency": num(r.avg_latency),
+                "throughput": r.throughput,
+                "deadlock_cycle": r.deadlock_cycle,
+                "error": r.error,
+                "metrics": r.metrics,
+            }
+            for r in report.points
+        ],
+    }, indent=2)

@@ -1,0 +1,181 @@
+"""The golden (algorithm x traffic x seed) matrix pinning simulator behavior.
+
+The fast-path engine rewrite is only legal because it is *behavior
+preserving*: :meth:`repro.sim.SimStats.digest` must stay byte-identical to
+the original per-object engine on every matrix point below.  The digests in
+``tests/fixtures/sim_golden_digests.json`` were recorded with the
+pre-rewrite engine; ``test_sim_determinism.py`` asserts the current engine
+reproduces them exactly.
+
+The matrix deliberately crosses the simulator's behavioral axes:
+
+* wait policies -- SPECIFIC (HPL default) and ANY (e-cube, Duato, EFA);
+* adaptivity -- nonadaptive, partially and fully adaptive, nonminimal;
+* topologies -- mesh, hypercube, torus;
+* traffic -- uniform, transpose, bit-reverse, hotspot patterns;
+* configs -- buffer depths, ejection rates, ``prefer_minimal`` off,
+  non-default selection functions (the allocator's slow path);
+* faults -- mid-run ``fail_channel`` / ``repair_channel`` around which
+  adaptive algorithms must reroute deterministically.
+
+Regenerate (only when a change is *intended* to alter behavior) with::
+
+    PYTHONPATH=src:tests python -m golden_matrix --write
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.routing import make
+from repro.routing.selection import lowest_vc_first
+from repro.sim import BernoulliTraffic, SimConfig, WormholeSimulator
+from repro.topology import build_hypercube, build_mesh, build_torus
+
+FIXTURE = Path(__file__).resolve().parent / "fixtures" / "sim_golden_digests.json"
+
+SELECTIONS = {"lowest_vc_first": lowest_vc_first}
+
+#: case id -> spec; every field is plain data so the matrix itself can be
+#: diffed when cases are added.
+CASES: dict[str, dict] = {}
+
+
+def _case(cid: str, **spec) -> None:
+    assert cid not in CASES
+    spec.setdefault("dims", None)
+    spec.setdefault("vcs", 1)
+    spec.setdefault("pattern", "uniform")
+    spec.setdefault("rate", 0.3)
+    spec.setdefault("length", 6)
+    spec.setdefault("cycles", 600)
+    spec.setdefault("stop_at", 400)
+    spec.setdefault("config", {})
+    spec.setdefault("faults", [])
+    CASES[cid] = spec
+
+
+# -- wait-on-ANY algorithms across topologies and seeds -----------------
+for seed in (17, 42):
+    _case(f"duato-mesh-u{seed}", algorithm="duato-mesh", topology="mesh",
+          dims=(3, 3), vcs=2, seed=seed)
+    _case(f"ecube-mesh-u{seed}", algorithm="e-cube-mesh", topology="mesh",
+          dims=(3, 3), vcs=2, seed=seed)
+    _case(f"efa-cube-u{seed}", algorithm="enhanced-fully-adaptive",
+          topology="hypercube", dims=(3,), vcs=2, seed=seed)
+_case("west-first-t9", algorithm="west-first", topology="mesh", dims=(3, 3),
+      pattern="transpose", seed=9)
+_case("duato-cube-br5", algorithm="duato-hypercube", topology="hypercube",
+      dims=(3,), vcs=2, pattern="bit-reverse", seed=5)
+_case("duato-torus-u7", algorithm="duato-torus", topology="torus",
+      dims=(4, 4), vcs=3, seed=7, cycles=400, stop_at=250, rate=0.2)
+_case("ecube-cube-hot3", algorithm="e-cube", topology="hypercube", dims=(3,),
+      pattern="hotspot", seed=3, rate=0.25)
+
+# -- wait-on-SPECIFIC: HPL commits to designated waiting channels -------
+_case("hpl-specific-u11", algorithm="highest-positive-last", topology="mesh",
+      dims=(3, 3), seed=11, rate=0.25)
+_case("hpl-specific-t4", algorithm="highest-positive-last", topology="mesh",
+      dims=(4, 4), pattern="transpose", seed=4, rate=0.2)
+
+# -- config axes: depths, ejection rate, raw cid order, slow selection --
+_case("duato-mesh-depth2", algorithm="duato-mesh", topology="mesh",
+      dims=(3, 3), vcs=2, seed=6, config={"buffer_depth": 2})
+_case("duato-mesh-eject2", algorithm="duato-mesh", topology="mesh",
+      dims=(3, 3), vcs=2, seed=6, config={"ejection_rate": 2})
+_case("efa-raw-order", algorithm="enhanced-fully-adaptive",
+      topology="hypercube", dims=(3,), vcs=2, seed=8,
+      config={"prefer_minimal": False})
+_case("duato-mesh-lowvc", algorithm="duato-mesh", topology="mesh",
+      dims=(3, 3), vcs=2, seed=8, config={"selection": "lowest_vc_first"})
+
+# -- faults: adaptive rerouting around a channel killed mid-sweep -------
+# (cycle, "fail"|"repair", src node, dim, sign) applied before that cycle
+_case("hpl-fault-reroute", algorithm="highest-positive-last", topology="mesh",
+      dims=(3, 3), seed=13, rate=0.2, algo_kwargs={"wait_any": True},
+      faults=[(120, "fail", 6, 1, -1), (360, "repair", 6, 1, -1)])
+_case("duato-fault-reroute", algorithm="duato-mesh", topology="mesh",
+      dims=(3, 3), vcs=2, seed=19, rate=0.2,
+      faults=[(100, "fail", 4, 0, 1), (300, "repair", 4, 0, 1)])
+
+
+# ----------------------------------------------------------------------
+def _find_channel(net, node: int, dim: int, sign: int):
+    for c in net.out_channels(node):
+        if c.meta.get("dim") == dim and c.meta.get("sign") == sign:
+            return c
+    raise LookupError(f"no channel at node {node} dim {dim} sign {sign}")
+
+
+def build_case(cid: str) -> WormholeSimulator:
+    """Instantiate the simulator for one matrix point (not yet stepped)."""
+    spec = CASES[cid]
+    topo = spec["topology"]
+    if topo == "mesh":
+        net = build_mesh(spec["dims"], num_vcs=spec["vcs"])
+    elif topo == "torus":
+        net = build_torus(spec["dims"], num_vcs=spec["vcs"])
+    else:
+        net = build_hypercube(spec["dims"][0], num_vcs=spec["vcs"])
+    ra = make(spec["algorithm"], net, **spec.get("algo_kwargs", {}))
+    cfg_kwargs = dict(spec["config"])
+    if "selection" in cfg_kwargs:
+        cfg_kwargs["selection"] = SELECTIONS[cfg_kwargs["selection"]]
+    config = SimConfig(seed=spec["seed"], deadlock_check_interval=32, **cfg_kwargs)
+    traffic = BernoulliTraffic(
+        net, rate=spec["rate"], pattern=spec["pattern"],
+        length=spec["length"], stop_at=spec["stop_at"],
+    )
+    return WormholeSimulator(ra, traffic, config)
+
+
+def run_case(cid: str) -> str:
+    """Run one matrix point to completion and return its stats digest."""
+    spec = CASES[cid]
+    sim = build_case(cid)
+    events = sorted(spec["faults"])
+    for cycle in range(spec["cycles"]):
+        while events and events[0][0] <= cycle:
+            _, action, node, dim, sign = events[0]
+            ch = _find_channel(sim.network, node, dim, sign)
+            if action == "fail":
+                try:
+                    sim.fail_channel(ch)
+                except ValueError:
+                    break  # occupied right now: retry next cycle
+            else:
+                sim.repair_channel(ch)
+            events.pop(0)
+        sim.step()
+    sim.drain(max_cycles=5000)
+    return sim.stats.digest()
+
+
+def load_fixture() -> dict[str, str]:
+    with open(FIXTURE) as f:
+        return json.load(f)
+
+
+def write_fixture() -> dict[str, str]:
+    digests = {cid: run_case(cid) for cid in sorted(CASES)}
+    FIXTURE.parent.mkdir(exist_ok=True)
+    with open(FIXTURE, "w") as f:
+        json.dump(digests, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return digests
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--write" in sys.argv:
+        for cid, d in write_fixture().items():
+            print(f"{cid:24} {d}")
+        print(f"wrote {len(CASES)} digests to {FIXTURE}")
+    else:
+        recorded = load_fixture()
+        for cid in sorted(CASES):
+            got = run_case(cid)
+            status = "ok" if recorded.get(cid) == got else "MISMATCH"
+            print(f"{cid:24} {status}")

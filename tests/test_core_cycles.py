@@ -79,3 +79,15 @@ class TestEnumeration:
         with pytest.raises(CycleExplosion):
             find_cycles(g, limit=100)
         assert len(find_cycles(g, limit=None)) > 100
+
+    def test_limit_is_exact(self):
+        # regression: limit=N used to yield N+1 cycles before raising
+        g, _ = self.graph([(0, 0), (1, 1), (2, 2)])  # exactly 3 simple cycles
+        assert len(find_cycles(g, limit=3)) == 3  # at the limit: no explosion
+        from repro.core.cycles import iter_simple_cycles
+
+        yielded = []
+        with pytest.raises(CycleExplosion):
+            for cy in iter_simple_cycles(g, limit=2):
+                yielded.append(cy)
+        assert len(yielded) == 2  # never more than the limit

@@ -96,3 +96,25 @@ def test_digest_stable_across_hash_seeds():
         )
         digests.add(proc.stdout.strip())
     assert len(digests) == 1, f"digests diverged across hash seeds: {digests}"
+
+
+# ----------------------------------------------------------------------
+# the golden matrix: behavior preservation across engine rewrites
+# ----------------------------------------------------------------------
+from tests import golden_matrix  # noqa: E402
+
+GOLDEN = sorted(golden_matrix.CASES)
+
+
+@pytest.mark.parametrize("case", GOLDEN)
+def test_golden_matrix_digest(case):
+    """The digest for every matrix point must match the checked-in fixture.
+
+    The fixture was recorded with the original per-object engine; a mismatch
+    means an engine change altered observable behavior -- cycle timing,
+    allocation order, delivery order -- not just its implementation.  See
+    ``tests/golden_matrix.py`` for the matrix and regeneration instructions.
+    """
+    recorded = golden_matrix.load_fixture()
+    assert case in recorded, f"fixture missing {case}; regenerate with --write"
+    assert golden_matrix.run_case(case) == recorded[case]

@@ -99,6 +99,92 @@ class TestFaultInjection:
         assert sim.deadlock is None, "a fault stall is not a Definition-12 knot"
 
 
+class TestFaultFastPath:
+    """Fault injection against the event-driven engine's bookkeeping.
+
+    The fast allocator only revisits a blocked message when something it
+    waits on changes, so faults exercise its trickiest paths: a repair must
+    *wake* waiters (the full-scan engine rediscovered them for free), and
+    the faulty mask must stay coherent with the public ``faulty`` set.
+    """
+
+    def test_source_blocked_message_wakes_on_repair(self, mesh33):
+        """A message blocked *in its source queue* by a fault must be woken
+        by the repair, not silently forgotten by the dirty-set allocator."""
+        ra = DimensionOrderMesh(mesh33)
+        sim = WormholeSimulator(ra, ScriptedTraffic([(5, 0, 1, 4)]), SimConfig(seed=1))
+        bad = chan(mesh33, 0, 0, +1)  # the only e-cube first hop of 0 -> 1
+        sim.fail_channel(bad)
+        sim.run(50)
+        (m,) = sim.messages.values()
+        assert m.started is None and m.waiting_for == frozenset({bad})
+        assert sim.stalled_messages() == [m]
+        sim.repair_channel(bad)
+        assert sim.drain(max_cycles=200)
+        assert m.delivered
+
+    def test_faulty_channel_is_never_allocated(self, mesh33):
+        ra = HighestPositiveLast(mesh33, wait_any=True)
+        sim = WormholeSimulator(
+            ra, BernoulliTraffic(mesh33, rate=0.3, length=4, stop_at=400),
+            SimConfig(seed=11),
+        )
+        bad = chan(mesh33, 4, 0, +1)  # a center channel uniform traffic wants
+        sim.fail_channel(bad)
+        for _ in range(400):
+            sim.step()
+            assert sim.owner[bad] is None
+            assert len(sim.buffers[bad]) == 0
+        assert sim.faulty == {bad}
+
+    def test_fail_repair_cycles_keep_state_coherent(self, mesh33):
+        """Repeated fail/repair of the same channel mid-sweep: the mask, the
+        public set, and delivery all stay consistent."""
+        ra = HighestPositiveLast(mesh33, wait_any=True)
+        sim = WormholeSimulator(
+            ra, BernoulliTraffic(mesh33, rate=0.2, length=4, stop_at=600),
+            SimConfig(seed=5),
+        )
+        bad = chan(mesh33, 6, 1, -1)
+        for cycle in range(600):
+            if cycle % 100 == 50 and sim.owner[bad] is None and bad not in sim.faulty:
+                sim.fail_channel(bad)
+            elif cycle % 100 == 0:
+                sim.repair_channel(bad)
+            sim.step()
+        sim.repair_channel(bad)
+        assert sim.faulty == set()
+        assert sim.drain(max_cycles=3000)
+        assert all(m.delivered for m in sim.messages.values())
+
+    def test_mid_sweep_fault_runs_are_deterministic(self, mesh33):
+        """The same fault schedule produces byte-identical runs, and the
+        fault does change the run (the digests prove both)."""
+
+        def run(with_fault: bool) -> str:
+            ra = HighestPositiveLast(mesh33, wait_any=True)
+            sim = WormholeSimulator(
+                ra, BernoulliTraffic(mesh33, rate=0.25, length=4, stop_at=300),
+                SimConfig(seed=13),
+            )
+            bad = chan(mesh33, 4, 0, +1)
+            failed = False
+            for cycle in range(400):
+                # first idle moment at or after cycle 80 (deterministic too)
+                if with_fault and not failed and cycle >= 80 and cycle < 250 \
+                        and sim.owner[bad] is None:
+                    sim.fail_channel(bad)
+                    failed = True
+                if with_fault and cycle == 250 and failed:
+                    sim.repair_channel(bad)
+                sim.step()
+            sim.drain(max_cycles=2000)
+            return sim.stats.digest()
+
+        assert run(True) == run(True)
+        assert run(True) != run(False)
+
+
 class TestLivelockAnalysis:
     def test_minimal_algorithms_never_misroute(self, mesh33):
         ra = DimensionOrderMesh(mesh33)
