@@ -16,6 +16,8 @@ Two ablations from DESIGN.md:
 
 import time
 
+import pytest
+
 from repro.core import ChannelWaitingGraph, find_one_cycle
 from repro.deps import ChannelDependencyGraph
 from repro.pipeline import BatchVerifier, VerificationCache, catalog_specs
@@ -76,6 +78,70 @@ def test_scaling_efa_hypercubes(benchmark, once, table):
     table("Checker scaling: EFA on growing hypercubes",
           ["dim", "channels", "CWG edges", "deadlock-free", "time"], rows)
     assert all(r[3] for r in rows)
+
+
+#: algorithm -> (Theorem-1/2/3 verdict, Duato verdict) on the smoke
+#: topologies, pinned before the depgraph-kernel refactor -- the checkers
+#: may get faster, never different.
+EXPECTED_SMOKE_VERDICTS = {
+    "dally-seitz-torus": (True, False),
+    "draper-ghosh-meca": (True, True),
+    "duato-hypercube": (True, True),
+    "duato-mesh": (True, True),
+    "duato-torus": (True, False),
+    "e-cube": (True, True),
+    "e-cube-mesh": (True, True),
+    "enhanced-fully-adaptive": (True, False),
+    "highest-positive-last": (True, False),
+    "incoherent-example": (True, False),
+    "li-hypercube": (True, False),
+    "negative-first": (True, True),
+    "north-last": (True, True),
+    "relaxed-efa": (False, False),
+    "ring-figure4": (True, False),
+    "unrestricted-minimal": (False, False),
+    "west-first": (True, True),
+    "yang-tsai": (True, True),
+}
+
+
+@pytest.mark.checker_smoke
+def test_checker_smoke_quick(benchmark, once, table):
+    """The CI checker tier: Theorem + Duato verdicts on the whole catalog.
+
+    Small topologies (3x3 mesh / 4x4 torus / 3-cube) keep it to a couple of
+    seconds; the full 18-algorithm verdict matrix is asserted against the
+    values pinned before the depgraph-kernel refactor.  Doubles as the perf
+    regression guard: wall time must stay within a generous factor of the
+    recorded pre-kernel baseline in ``BASELINE.json`` -- loose enough for
+    runner-to-runner variance, tight enough to catch a return to the
+    exhaustive ``networkx`` cycle search, which costs an order of magnitude.
+    """
+    from conftest import load_baseline
+
+    specs = catalog_specs(mesh_dims=(3, 3), torus_dims=(4, 4), hypercube_dim=3,
+                          conditions=("theorem", "duato"))
+
+    def sweep():
+        t0 = time.perf_counter()
+        report = BatchVerifier().run(specs)
+        return report, time.perf_counter() - t0
+
+    report, seconds = once(benchmark, sweep)
+    assert not report.errors, report.errors
+    theorem = report.verdicts("theorem")
+    duato = report.verdicts("duato")
+    got = {name: (theorem[name], duato[name]) for name in theorem}
+    table("Checker smoke: catalog verdicts (theorem, duato)",
+          ["algorithm", "theorem", "duato"],
+          [(n, t, d) for n, (t, d) in sorted(got.items())])
+    assert got == EXPECTED_SMOKE_VERDICTS
+    base = load_baseline().get("test_checker_smoke_quick")
+    if base:
+        assert seconds <= base * 3, (
+            f"checker perf regression: smoke took {seconds:.2f}s vs "
+            f"{base:.2f}s pre-kernel baseline (tolerance 3x)"
+        )
 
 
 def test_scaling_batch_pipeline(benchmark, once, table, tmp_path):

@@ -6,6 +6,8 @@ Subcommands
 ``verify-batch``  sweep many algorithms concurrently through the cached pipeline;
 ``catalog``       list the routing algorithms and their certified properties;
 ``dot``           emit the CWG or CDG of an algorithm as Graphviz DOT;
+``graph-stats``   print the kernel summary (SCCs, acyclicity, fingerprint)
+                  of an algorithm's CWG, CDG, or ECDG;
 ``simulate``      run the wormhole simulator and print a latency/throughput row;
 ``sim-sweep``     fan a simulation grid across a process pool.
 
@@ -26,7 +28,14 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .export import batch_table, batch_to_csv, batch_to_json, to_dot, verdict_block
+from .export import (
+    batch_table,
+    batch_to_csv,
+    batch_to_json,
+    graph_stats_block,
+    to_dot,
+    verdict_block,
+)
 from .routing import CATALOG, make
 
 
@@ -123,15 +132,33 @@ def cmd_dot(args) -> int:
         args.vcs = _default_vcs(args.algorithm)
     net = _build_network(args)
     ra = make(args.algorithm, net)
-    if args.graph == "cwg":
+    g = _build_channel_graph(ra, args.graph)
+    print(to_dot(g, title=f"{g.kind} of {ra.name} on {net.name}"))
+    return 0
+
+
+def _build_channel_graph(ra, kind: str):
+    if kind == "cwg":
         from .core import ChannelWaitingGraph
 
-        g = ChannelWaitingGraph(ra)
-    else:
+        return ChannelWaitingGraph(ra)
+    if kind == "cdg":
         from .deps import ChannelDependencyGraph
 
-        g = ChannelDependencyGraph(ra)
-    print(to_dot(g, title=f"{g.kind} of {ra.name} on {net.name}"))
+        return ChannelDependencyGraph(ra)
+    from .deps import ExtendedChannelDependencyGraph, escape_by_vc
+
+    return ExtendedChannelDependencyGraph(ra, escape_by_vc(ra))
+
+
+def cmd_graph_stats(args) -> int:
+    if args.vcs is None:
+        args.vcs = _default_vcs(args.algorithm)
+    net = _build_network(args)
+    ra = make(args.algorithm, net)
+    g = _build_channel_graph(ra, args.graph)
+    print(f"{args.graph.upper()} of {ra.name} on {net.name}")
+    print(graph_stats_block(g))
     return 0
 
 
@@ -233,7 +260,14 @@ def main(argv: list[str] | None = None) -> int:
 
     pd = sub.add_parser("dot", help="emit a channel graph as Graphviz DOT")
     common(pd)
-    pd.add_argument("--graph", default="cwg", choices=["cwg", "cdg"])
+    pd.add_argument("--graph", default="cwg", choices=["cwg", "cdg", "ecdg"])
+
+    pg = sub.add_parser(
+        "graph-stats",
+        help="print the dependency-graph kernel summary (SCCs, acyclicity, fingerprint)",
+    )
+    common(pg)
+    pg.add_argument("--graph", default="cwg", choices=["cwg", "cdg", "ecdg"])
 
     ps = sub.add_parser("simulate", help="run the wormhole simulator")
     common(ps)
@@ -273,6 +307,7 @@ def main(argv: list[str] | None = None) -> int:
         "verify": cmd_verify,
         "verify-batch": cmd_verify_batch,
         "dot": cmd_dot,
+        "graph-stats": cmd_graph_stats,
         "simulate": cmd_simulate,
         "sim-sweep": cmd_sim_sweep,
     }[args.command](args)

@@ -1,5 +1,7 @@
 """The paper's primary contribution, mechanized.
 
+* :mod:`~repro.core.depgraph` -- the integer-indexed CSR graph kernel every
+  dependency/waiting graph compiles to and every checker executes on;
 * :mod:`~repro.core.transitions` -- per-destination routing-state graphs,
   the substrate all graph constructions share;
 * :mod:`~repro.core.cwg` -- the channel waiting graph (Definition 9) and
@@ -12,6 +14,7 @@
 
 from .cwg import ChannelWaitingGraph, wait_connected
 from .cycles import Cycle, CycleExplosion, find_cycles, find_one_cycle, has_cycle, iter_simple_cycles
+from .depgraph import DepGraph, bits, mask_of_ints, tarjan_scc
 from .false_cycles import Classification, CycleClass, CycleClassifier, Segment
 from .reduction import CWGReducer, ReductionResult, ReductionStep
 from .transitions import DestinationTransitions, TransitionCache
@@ -24,14 +27,18 @@ __all__ = [
     "CycleClass",
     "CycleClassifier",
     "CycleExplosion",
+    "DepGraph",
     "DestinationTransitions",
     "ReductionResult",
     "ReductionStep",
     "Segment",
     "TransitionCache",
+    "bits",
     "find_cycles",
     "find_one_cycle",
     "has_cycle",
     "iter_simple_cycles",
+    "mask_of_ints",
+    "tarjan_scc",
     "wait_connected",
 ]

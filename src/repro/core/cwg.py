@@ -10,9 +10,14 @@ graph restricted to dependencies that can actually stall a message, which
 is why requiring it to be (True-Cycle-)acyclic is strictly weaker than every
 acyclic-CDG condition.
 
-:class:`ChannelWaitingGraph` stores, for each edge, the set of destinations
-that realize it; the False-Resource-Cycle classifier re-derives concrete
-witness paths from those destinations on demand.
+:class:`ChannelWaitingGraph` is a thin builder over the integer kernel: one
+transition walk (shared with the CDG builder via
+:meth:`~repro.core.transitions.TransitionCache.collect_edge_dests`) emits a
+:class:`~repro.core.depgraph.DepGraph` whose per-edge bitmask records the
+destinations that realize each edge; the False-Resource-Cycle classifier
+re-derives concrete witness paths from those destinations on demand.
+Channel-object views (``edge_dests``, ``graph()``) are adapters over the
+kernel and materialize lazily.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ import networkx as nx
 
 from ..routing.relation import RoutingAlgorithm
 from ..topology.channel import Channel
+from .depgraph import DepGraph, bits
 from .transitions import TransitionCache
 
 
@@ -34,28 +40,33 @@ class ChannelWaitingGraph:
     def __init__(self, algorithm: RoutingAlgorithm, *, transitions: TransitionCache | None = None) -> None:
         self.algorithm = algorithm
         self.transitions = transitions or TransitionCache(algorithm)
-        #: edge -> destinations whose traffic realizes it
-        self.edge_dests: dict[tuple[Channel, Channel], set[int]] = {}
-        self._build()
+        #: the integer-indexed kernel all checkers execute on
+        self.dep: DepGraph = DepGraph(
+            algorithm.network,
+            self.transitions.collect_edge_dests(lambda dt: dt.downstream_wait),
+        )
+        self._edge_dests: dict[tuple[Channel, Channel], set[int]] | None = None
 
-    def _build(self) -> None:
-        for dt in self.transitions.all_destinations():
-            down = dt.downstream_wait
-            for c1 in dt.usable:
-                for c2 in down[c1]:
-                    self.edge_dests.setdefault((c1, c2), set()).add(dt.dest)
+    # ------------------------------------------------------------------
+    # Channel-level adapter views
+    # ------------------------------------------------------------------
+    @property
+    def edge_dests(self) -> dict[tuple[Channel, Channel], set[int]]:
+        """edge -> destinations whose traffic realizes it (adapter view)."""
+        if self._edge_dests is None:
+            channel = self.algorithm.network.channel
+            self._edge_dests = {
+                (channel(u), channel(v)): set(bits(m))
+                for u, v, m in self.dep.iter_edges()
+            }
+        return self._edge_dests
 
     # ------------------------------------------------------------------
     # content-addressed cache hooks (repro.pipeline)
     # ------------------------------------------------------------------
     def cache_payload(self) -> list[list]:
         """JSON-safe edge list ``[[src_cid, dst_cid, [dests...]], ...]``."""
-        return [
-            [a.cid, b.cid, sorted(dests)]
-            for (a, b), dests in sorted(
-                self.edge_dests.items(), key=lambda kv: (kv[0][0].cid, kv[0][1].cid)
-            )
-        ]
+        return [[u, v, list(bits(m))] for u, v, m in self.dep.iter_edges()]
 
     @classmethod
     def from_cached_edges(
@@ -73,10 +84,14 @@ class ChannelWaitingGraph:
         self = cls.__new__(cls)
         self.algorithm = algorithm
         self.transitions = transitions or TransitionCache(algorithm)
-        net = algorithm.network
-        self.edge_dests = {
-            (net.channel(a), net.channel(b)): set(dests) for a, b, dests in payload
-        }
+        masks: dict[tuple[int, int], int] = {}
+        for a, b, dests in payload:
+            m = 0
+            for d in dests:
+                m |= 1 << d
+            masks[(a, b)] = m
+        self.dep = DepGraph(algorithm.network, masks)
+        self._edge_dests = None
         return self
 
     # ------------------------------------------------------------------
@@ -87,34 +102,36 @@ class ChannelWaitingGraph:
 
     @property
     def edges(self) -> list[tuple[Channel, Channel]]:
-        return list(self.edge_dests)
+        return self.dep.channel_edges()
 
     def graph(self, *, removed: Iterable[tuple[Channel, Channel]] = ()) -> nx.DiGraph:
         """networkx view of the CWG, optionally with ``removed`` edges deleted."""
         g = nx.DiGraph()
         g.add_nodes_from(self.vertices)
         skip = set(removed)
-        for e in self.edge_dests:
+        for e in self.edges:
             if e not in skip:
                 g.add_edge(*e)
         return g
 
     def is_acyclic(self) -> bool:
-        return nx.is_directed_acyclic_graph(self.graph())
+        return self.dep.is_acyclic()
 
     def destinations_for(self, edge: tuple[Channel, Channel]) -> frozenset[int]:
-        return frozenset(self.edge_dests.get(edge, ()))
+        a, b = edge
+        return frozenset(bits(self.dep.mask_of(a.cid, b.cid)))
 
     def __contains__(self, edge: tuple[Channel, Channel]) -> bool:
-        return edge in self.edge_dests
+        a, b = edge
+        return self.dep.has_edge(a.cid, b.cid)
 
     def __len__(self) -> int:
-        return len(self.edge_dests)
+        return self.dep.num_edges
 
     def __repr__(self) -> str:
         return (
             f"<{self.kind} of {self.algorithm.name}: "
-            f"{len(self.vertices)} channels, {len(self.edge_dests)} edges>"
+            f"{len(self.vertices)} channels, {len(self.dep)} edges>"
         )
 
 

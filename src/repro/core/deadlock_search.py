@@ -91,11 +91,8 @@ class TrueCycleSearch:
         self._alt_dests: dict[tuple[tuple[Channel, ...], Channel], list[int]] = {}
         # Channels that appear as CWG edge targets: only these can be waited
         # on, hence only these can head a segment in a cycle.
-        self._waitable: set[Channel] = {b for (_, b) in cwg.edges}
-        self._succ_waits: dict[Channel, frozenset[Channel]] = {}
-        for (a, b) in cwg.edges:
-            self._succ_waits.setdefault(a, set()).add(b)  # type: ignore[arg-type]
-        self._succ_waits = {k: frozenset(v) for k, v in self._succ_waits.items()}
+        channel = cwg.algorithm.network.channel
+        self._waitable: set[Channel] = {channel(b) for b in cwg.dep.target_cids()}
 
     # ------------------------------------------------------------------
     def segments_from(self, head: Channel) -> list[Segment]:
@@ -211,19 +208,9 @@ class TrueCycleSearch:
         Any cycle canonicalized at ``start`` visits only such channels, so
         the DFS prunes every segment waiting outside this set.
         """
-        rev: dict[Channel, list[Channel]] = {}
-        for (a, b) in self.cwg.edges:
-            if a.cid >= start.cid and b.cid >= start.cid:
-                rev.setdefault(b, []).append(a)
-        seen: set[Channel] = set()
-        stack = [start]
-        while stack:
-            c = stack.pop()
-            for p in rev.get(c, ()):
-                if p not in seen:
-                    seen.add(p)
-                    stack.append(p)
-        return frozenset(seen)
+        channel = self.cwg.algorithm.network.channel
+        cids = self.cwg.dep.reverse_reachable(start.cid, min_cid=start.cid)
+        return frozenset(channel(c) for c in cids)
 
     def _accept(self, chain: list[Segment], outcome: SearchOutcome) -> bool:
         """Phase-2 check a closed chain; record it appropriately.

@@ -122,7 +122,7 @@ class CWGReducer:
     def run(self) -> ReductionResult:
         """Execute steps 1-6 of the Section 8 algorithm."""
         # Step 1: list all cycles; Step 2: drop False Resource Cycles.
-        cycles = find_cycles(self.cwg.graph(), limit=self.cycle_limit)
+        cycles = find_cycles(self.cwg.dep, limit=self.cycle_limit)
         classifications = self.classifier.classify_all(cycles)
         true_cls = [cl for cl in classifications if cl.possibly_true]
         false_cls = [cl for cl in classifications if not cl.possibly_true]

@@ -28,12 +28,9 @@ Reachable-set computation runs on the SCC condensation so cyclic
 
 from __future__ import annotations
 
-
-
-import networkx as nx
-
 from ..routing.relation import RoutingAlgorithm
 from ..topology.channel import Channel
+from .depgraph import bits, tarjan_scc
 
 
 class DestinationTransitions:
@@ -74,14 +71,6 @@ class DestinationTransitions:
         self._upstream: dict[Channel, frozenset[Channel]] | None = None
 
     # ------------------------------------------------------------------
-    def _graph(self) -> nx.DiGraph:
-        g = nx.DiGraph()
-        g.add_nodes_from(self.succ)
-        for c, outs in self.succ.items():
-            for o in outs:
-                g.add_edge(c, o)
-        return g
-
     @property
     def downstream_wait(self) -> dict[Channel, frozenset[Channel]]:
         """CWG out-neighbourhoods: waiting sets over all reachable states."""
@@ -105,34 +94,60 @@ class DestinationTransitions:
         """Reflexive-transitive closure aggregation over the SCC condensation.
 
         forward=True accumulates waiting sets downstream; forward=False
-        accumulates held link channels upstream.
+        accumulates held link channels upstream.  Runs on the integer
+        kernel: the state graph is indexed locally, Tarjan's decomposition
+        (labels in reverse topological order -- every inter-component edge
+        points to a smaller label) replaces the networkx condensation, and
+        the accumulated sets are cid bitmasks OR-ed along condensation
+        edges; components sharing a value share one frozenset at the end.
         """
-        g = self._graph()
-        if not forward:
-            g = g.reverse(copy=False)
-        cond = nx.condensation(g)
-        order = list(nx.topological_sort(cond))
-        comp_val: dict[int, frozenset[Channel]] = {}
-        for comp in reversed(order):
-            members = cond.nodes[comp]["members"]
+        states = list(self.succ)
+        idx = {c: i for i, c in enumerate(states)}
+        n = len(states)
+        indptr = [0] * (n + 1)
+        indices: list[int] = []
+        if forward:
+            for i, c in enumerate(states):
+                for o in self.succ[c]:
+                    indices.append(idx[o])
+                indptr[i + 1] = len(indices)
+        else:
+            rev: list[list[int]] = [[] for _ in range(n)]
+            for i, c in enumerate(states):
+                for o in self.succ[c]:
+                    rev[idx[o]].append(i)
+            for i in range(n):
+                indices.extend(rev[i])
+                indptr[i + 1] = len(indices)
+        labels, ncomp = tarjan_scc(n, indptr, indices)
+        comp_val = [0] * ncomp
+        for i, c in enumerate(states):
             if forward:
-                acc: set[Channel] = set()
-                for m in members:
-                    acc |= self.wait[m]
-            else:
-                acc = {m for m in members if m.is_link}
-            for succ_comp in cond.successors(comp):
-                acc |= comp_val[succ_comp]
-            comp_val[comp] = frozenset(acc)
+                m = 0
+                for w in self.wait[c]:
+                    m |= 1 << w.cid
+                comp_val[labels[i]] |= m
+            elif c.is_link:
+                comp_val[labels[i]] |= 1 << c.cid
+        # Successor components always carry smaller labels, so visiting
+        # vertices by ascending component label reads only finalized values.
+        for i in sorted(range(n), key=lambda v: labels[v]):
+            li = labels[i]
+            acc = comp_val[li]
+            for p in range(indptr[i], indptr[i + 1]):
+                lj = labels[indices[p]]
+                if lj != li:
+                    acc |= comp_val[lj]
+            comp_val[li] = acc
+        channel = self.algorithm.network.channel
+        memo: dict[int, frozenset[Channel]] = {}
         out: dict[Channel, frozenset[Channel]] = {}
-        mapping = cond.graph["mapping"]
-        for c in self.succ:
-            out[c] = comp_val[mapping[c]]
-        if not forward:
-            # "May hold while at c" for the *reverse* graph accumulates
-            # predecessors of c; but a message at state c holds c itself too
-            # (already included since the closure is reflexive over members).
-            pass
+        for i, c in enumerate(states):
+            m = comp_val[labels[i]]
+            fs = memo.get(m)
+            if fs is None:
+                fs = memo[m] = frozenset(channel(b) for b in bits(m))
+            out[c] = fs
         return out
 
     def reachable_from(self, start: Channel) -> frozenset[Channel]:
@@ -165,3 +180,26 @@ class TransitionCache:
         """Iterate transitions for every node as destination."""
         for dest in self.algorithm.network.nodes:
             yield self[dest]
+
+    def collect_edge_dests(self, targets) -> dict[tuple[int, int], int]:
+        """Per-edge destination bitmasks over every destination's state walk.
+
+        The one accumulation loop the CDG and CWG builders share:
+        ``targets(dt)`` maps a destination's transitions to the per-state
+        out-neighbour mapping that defines the edge set -- ``dt.succ`` for
+        the CDG's immediate dependencies, ``dt.downstream_wait`` for the
+        CWG's occupy-while-waiting edges.  Returns ``(src_cid, dst_cid) ->
+        destination bitmask``, the exact input
+        :class:`~repro.core.depgraph.DepGraph` takes.
+        """
+        edges: dict[tuple[int, int], int] = {}
+        get = edges.get
+        for dt in self.all_destinations():
+            bit = 1 << dt.dest
+            tmap = targets(dt)
+            for c1 in dt.usable:
+                a = c1.cid
+                for c2 in tmap[c1]:
+                    k = (a, c2.cid)
+                    edges[k] = get(k, 0) | bit
+        return edges

@@ -10,7 +10,11 @@ Only dependencies that some message can actually exercise are included: the
 input channel must be reachable from an injection channel for the relevant
 destination (otherwise the "dependency" involves a state no message is ever
 in).  Per-edge destination witnesses are recorded, mirroring
-:class:`repro.core.cwg.ChannelWaitingGraph`.
+:class:`repro.core.cwg.ChannelWaitingGraph` -- both builders run the same
+transition walk
+(:meth:`~repro.core.transitions.TransitionCache.collect_edge_dests`, the
+CDG over ``dt.succ``, the CWG over ``dt.downstream_wait``) and emit a
+:class:`~repro.core.depgraph.DepGraph` the verifiers execute on.
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ from collections.abc import Iterable
 
 import networkx as nx
 
+from ..core.depgraph import DepGraph, bits
 from ..core.transitions import TransitionCache
 from ..routing.relation import RoutingAlgorithm
 from ..topology.channel import Channel
@@ -32,26 +37,33 @@ class ChannelDependencyGraph:
     def __init__(self, algorithm: RoutingAlgorithm, *, transitions: TransitionCache | None = None) -> None:
         self.algorithm = algorithm
         self.transitions = transitions or TransitionCache(algorithm)
-        self.edge_dests: dict[tuple[Channel, Channel], set[int]] = {}
-        self._build()
+        #: the integer-indexed kernel all checkers execute on
+        self.dep: DepGraph = DepGraph(
+            algorithm.network,
+            self.transitions.collect_edge_dests(lambda dt: dt.succ),
+        )
+        self._edge_dests: dict[tuple[Channel, Channel], set[int]] | None = None
 
-    def _build(self) -> None:
-        for dt in self.transitions.all_destinations():
-            for c1 in dt.usable:
-                for c2 in dt.succ[c1]:
-                    self.edge_dests.setdefault((c1, c2), set()).add(dt.dest)
+    # ------------------------------------------------------------------
+    # Channel-level adapter views
+    # ------------------------------------------------------------------
+    @property
+    def edge_dests(self) -> dict[tuple[Channel, Channel], set[int]]:
+        """edge -> destinations whose traffic realizes it (adapter view)."""
+        if self._edge_dests is None:
+            channel = self.algorithm.network.channel
+            self._edge_dests = {
+                (channel(u), channel(v)): set(bits(m))
+                for u, v, m in self.dep.iter_edges()
+            }
+        return self._edge_dests
 
     # ------------------------------------------------------------------
     # content-addressed cache hooks (repro.pipeline)
     # ------------------------------------------------------------------
     def cache_payload(self) -> list[list]:
         """JSON-safe edge list ``[[src_cid, dst_cid, [dests...]], ...]``."""
-        return [
-            [a.cid, b.cid, sorted(dests)]
-            for (a, b), dests in sorted(
-                self.edge_dests.items(), key=lambda kv: (kv[0][0].cid, kv[0][1].cid)
-            )
-        ]
+        return [[u, v, list(bits(m))] for u, v, m in self.dep.iter_edges()]
 
     @classmethod
     def from_cached_edges(
@@ -66,10 +78,14 @@ class ChannelDependencyGraph:
         self = cls.__new__(cls)
         self.algorithm = algorithm
         self.transitions = transitions or TransitionCache(algorithm)
-        net = algorithm.network
-        self.edge_dests = {
-            (net.channel(a), net.channel(b)): set(dests) for a, b, dests in payload
-        }
+        masks: dict[tuple[int, int], int] = {}
+        for a, b, dests in payload:
+            m = 0
+            for d in dests:
+                m |= 1 << d
+            masks[(a, b)] = m
+        self.dep = DepGraph(algorithm.network, masks)
+        self._edge_dests = None
         return self
 
     @property
@@ -78,39 +94,44 @@ class ChannelDependencyGraph:
 
     @property
     def edges(self) -> list[tuple[Channel, Channel]]:
-        return list(self.edge_dests)
+        return self.dep.channel_edges()
 
     def graph(self, *, removed: Iterable[tuple[Channel, Channel]] = ()) -> nx.DiGraph:
         g = nx.DiGraph()
         g.add_nodes_from(self.vertices)
         skip = set(removed)
-        for e in self.edge_dests:
+        for e in self.edges:
             if e not in skip:
                 g.add_edge(*e)
         return g
 
     def is_acyclic(self) -> bool:
-        return nx.is_directed_acyclic_graph(self.graph())
+        return self.dep.is_acyclic()
 
     def numbering(self) -> dict[Channel, int] | None:
         """A strictly increasing channel numbering if the CDG is acyclic.
 
         Dally & Seitz prove deadlock freedom by exhibiting such a numbering;
-        returns ``None`` when the CDG is cyclic.
+        returns ``None`` when the CDG is cyclic.  The order is read off the
+        kernel's SCC labels (a topological order when every component is a
+        singleton), restricted to the CDG's vertex set.
         """
-        g = self.graph()
-        if not nx.is_directed_acyclic_graph(g):
+        topo = self.dep.topo_cids()
+        if topo is None:
             return None
-        return {c: i for i, c in enumerate(nx.topological_sort(g))}
+        verts = {c.cid: c for c in self.vertices}
+        order = [cid for cid in topo if cid in verts]
+        return {verts[cid]: i for i, cid in enumerate(order)}
 
     def destinations_for(self, edge: tuple[Channel, Channel]) -> frozenset[int]:
-        return frozenset(self.edge_dests.get(edge, ()))
+        a, b = edge
+        return frozenset(bits(self.dep.mask_of(a.cid, b.cid)))
 
     def __len__(self) -> int:
-        return len(self.edge_dests)
+        return self.dep.num_edges
 
     def __repr__(self) -> str:
         return (
             f"<{self.kind} of {self.algorithm.name}: "
-            f"{len(self.vertices)} channels, {len(self.edge_dests)} edges>"
+            f"{len(self.vertices)} channels, {len(self.dep)} edges>"
         )

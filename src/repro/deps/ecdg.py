@@ -31,6 +31,7 @@ from collections.abc import Callable, Iterable
 
 import networkx as nx
 
+from ..core.depgraph import DepGraph, bits
 from ..core.transitions import TransitionCache
 from ..routing.relation import RoutingAlgorithm
 from ..topology.channel import Channel
@@ -43,6 +44,11 @@ class DependencyType(enum.Enum):
     INDIRECT = "indirect"
     DIRECT_CROSS = "direct-cross"
     INDIRECT_CROSS = "indirect-cross"
+
+
+#: bit position of each dependency type in the kernel's per-edge mask
+_TYPE_BIT = {t: i for i, t in enumerate(DependencyType)}
+_TYPE_OF_BIT = tuple(DependencyType)
 
 
 class ExtendedChannelDependencyGraph:
@@ -64,9 +70,9 @@ class ExtendedChannelDependencyGraph:
         else:
             fixed = frozenset(escape)
             self._escape_fn = lambda dest: fixed
-        #: edge -> set of dependency types realizing it
-        self.edge_types: dict[tuple[Channel, Channel], set[DependencyType]] = {}
-        self._build()
+        #: the integer-indexed kernel (per-edge mask = dependency-type bits)
+        self.dep: DepGraph = self._build()
+        self._edge_types: dict[tuple[Channel, Channel], set[DependencyType]] | None = None
 
     # ------------------------------------------------------------------
     def escape_for(self, dest: int) -> frozenset[Channel]:
@@ -78,19 +84,25 @@ class ExtendedChannelDependencyGraph:
             out |= self.escape_for(dest)
         return frozenset(out)
 
-    def _build(self) -> None:
+    def _build(self) -> DepGraph:
         union = self.escape_union()
+        edges: dict[tuple[int, int], int] = {}
+        direct = 1 << _TYPE_BIT[DependencyType.DIRECT]
+        direct_x = 1 << _TYPE_BIT[DependencyType.DIRECT_CROSS]
+        indirect = 1 << _TYPE_BIT[DependencyType.INDIRECT]
+        indirect_x = 1 << _TYPE_BIT[DependencyType.INDIRECT_CROSS]
         for dt in self.transitions.all_destinations():
             c1_here = self.escape_for(dt.dest)
             for ci in dt.usable:
                 if ci not in union:
                     continue
                 ci_is_own = ci in c1_here
+                a = ci.cid
                 # Direct: an R1-supplied channel immediately after ci.
                 for cj in dt.succ[ci]:
                     if cj in c1_here:
-                        kind = DependencyType.DIRECT if ci_is_own else DependencyType.DIRECT_CROSS
-                        self.edge_types.setdefault((ci, cj), set()).add(kind)
+                        k = (a, cj.cid)
+                        edges[k] = edges.get(k, 0) | (direct if ci_is_own else direct_x)
                 # Indirect: through >= 1 non-escape channels, then R1-supplied.
                 seen: set[Channel] = set()
                 stack = [c for c in dt.succ[ci] if c not in c1_here]
@@ -101,30 +113,39 @@ class ExtendedChannelDependencyGraph:
                     seen.add(q)
                     for cj in dt.succ.get(q, ()):
                         if cj in c1_here:
-                            kind = (
-                                DependencyType.INDIRECT if ci_is_own
-                                else DependencyType.INDIRECT_CROSS
-                            )
-                            self.edge_types.setdefault((ci, cj), set()).add(kind)
+                            k = (a, cj.cid)
+                            edges[k] = edges.get(k, 0) | (indirect if ci_is_own else indirect_x)
                         elif cj not in seen:
                             stack.append(cj)
+        return DepGraph(self.algorithm.network, edges)
 
     # ------------------------------------------------------------------
     @property
+    def edge_types(self) -> dict[tuple[Channel, Channel], set[DependencyType]]:
+        """edge -> dependency types realizing it (adapter view)."""
+        if self._edge_types is None:
+            channel = self.algorithm.network.channel
+            self._edge_types = {
+                (channel(u), channel(v)): {_TYPE_OF_BIT[i] for i in bits(m)}
+                for u, v, m in self.dep.iter_edges()
+            }
+        return self._edge_types
+
+    @property
     def edges(self) -> list[tuple[Channel, Channel]]:
-        return list(self.edge_types)
+        return self.dep.channel_edges()
 
     def graph(self, *, removed: Iterable[tuple[Channel, Channel]] = ()) -> nx.DiGraph:
         g = nx.DiGraph()
         g.add_nodes_from(self.escape_union())
         skip = set(removed)
-        for e in self.edge_types:
+        for e in self.edges:
             if e not in skip:
                 g.add_edge(*e)
         return g
 
     def is_acyclic(self) -> bool:
-        return nx.is_directed_acyclic_graph(self.graph())
+        return self.dep.is_acyclic()
 
     def subfunction_connected(self) -> tuple[bool, str]:
         """Is ``R1`` connected: every pair routable using escape channels only?
@@ -144,12 +165,12 @@ class ExtendedChannelDependencyGraph:
         return True, ""
 
     def __len__(self) -> int:
-        return len(self.edge_types)
+        return self.dep.num_edges
 
     def __repr__(self) -> str:
         return (
             f"<{self.kind} of {self.algorithm.name}: "
-            f"{len(self.escape_union())} escape channels, {len(self.edge_types)} dependencies>"
+            f"{len(self.escape_union())} escape channels, {self.dep.num_edges} dependencies>"
         )
 
 

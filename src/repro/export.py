@@ -184,6 +184,29 @@ def batch_table(report: "BatchReport") -> str:
     return "\n".join(lines)
 
 
+def graph_stats_block(graph) -> str:
+    """Text rendering of a channel graph's kernel summary.
+
+    Works on any builder exposing a ``dep`` :class:`~repro.core.depgraph.DepGraph`
+    (CWG, CDG, ECDG): one line per headline structure fact plus the
+    content-addressed fingerprint the pipeline caches key on.
+    """
+    dep = graph.dep
+    s = dep.summary()
+    lines = [
+        f"kind             {graph.kind}",
+        f"vertices         {s['vertices']}",
+        f"edges            {s['edges']}",
+        f"self loops       {s['self_loops']}",
+        f"sccs             {s['sccs']}",
+        f"nontrivial sccs  {s['nontrivial_sccs']}",
+        f"largest scc      {s['largest_scc']}",
+        f"acyclic          {'yes' if s['acyclic'] else 'no'}",
+        f"fingerprint      {dep.fingerprint()}",
+    ]
+    return "\n".join(lines)
+
+
 def verdict_block(verdict) -> str:
     """Multi-line rendering of a Verdict including its witness, if any."""
     lines = [verdict.summary()]

@@ -138,11 +138,16 @@ def cached_cycles(
     fingerprint: str | None = None,
     limit: int | None = 100_000,
 ) -> list[Cycle]:
-    """Enumerate (or restore) the simple cycles of a CWG through the cache."""
+    """Enumerate (or restore) the simple cycles of a CWG through the cache.
+
+    Keyed on the kernel's CSR fingerprint by default (not the relation's):
+    the cycle list is a pure function of the graph, so any two relations
+    with identical CWGs share the entry.
+    """
     if cache is None:
-        return find_cycles(cwg.graph(), limit=limit)
+        return find_cycles(cwg.dep, limit=limit)
     net = cwg.algorithm.network
-    fp = fingerprint or cwg.algorithm.fingerprint(transitions=cwg.transitions)
+    fp = fingerprint or cwg.dep.fingerprint()
     payload = cache.get(fp, "cycles")
     if payload is not None and payload.get("limit_ok", False):
         return [
@@ -150,7 +155,7 @@ def cached_cycles(
             for cids in payload["cycles"]
         ]
     try:
-        cycles = find_cycles(cwg.graph(), limit=limit)
+        cycles = find_cycles(cwg.dep, limit=limit)
     except CycleExplosion:
         cache.put(fp, "cycles", {"limit_ok": False, "cycles": []})
         raise
@@ -174,6 +179,10 @@ def cached_reduction(
     Restored results carry the removal set, success flag, and reason; the
     step trace and per-cycle classifications (only needed by the worked
     examples) are recomputed on demand by running the reducer directly.
+
+    Unlike :func:`cached_cycles` this stays keyed on the *relation*
+    fingerprint: wait-connectivity (Definition 10) consults the per-state
+    waiting sets, which the CWG's edge content does not determine.
     """
     if cache is None:
         return CWGReducer(cwg, cycle_limit=cycle_limit).run()

@@ -26,6 +26,7 @@ import hashlib
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.depgraph import DepGraph
     from ..core.transitions import TransitionCache
     from ..routing.relation import RoutingAlgorithm
     from ..topology.network import Network
@@ -55,6 +56,27 @@ def fingerprint_network(network: "Network") -> str:
     for node in sorted(network.coords):
         h.update(f"coord {node} {network.coords[node]!r}\n".encode())
     h.update(f"meta [{_meta_token(network.meta)}]\n".encode())
+    return h.hexdigest()
+
+
+def fingerprint_depgraph(dep: "DepGraph") -> str:
+    """Digest of a :class:`~repro.core.depgraph.DepGraph`'s CSR arrays.
+
+    Hashes the vertex count, the ``indptr`` / ``indices`` adjacency arrays,
+    and the per-edge payload masks (hex) -- the graph's entire observable
+    content, so two kernels with equal fingerprints answer every structure,
+    cycle, and witness query identically.  Used to key graph-derived cache
+    stages (cycle enumerations) directly on graph content: distinct routing
+    relations producing the same CWG share one entry.
+    """
+    h = _hasher()
+    h.update(b"depgraph/v1\n")
+    h.update(f"n={dep.num_vertices}\n".encode())
+    h.update(",".join(map(str, dep.indptr)).encode())
+    h.update(b"\n")
+    h.update(",".join(map(str, dep.indices)).encode())
+    h.update(b"\n")
+    h.update(",".join(format(m, "x") for m in dep.masks).encode())
     return h.hexdigest()
 
 

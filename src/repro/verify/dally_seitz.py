@@ -38,7 +38,7 @@ def dally_seitz(algorithm: RoutingAlgorithm, *, cdg: ChannelDependencyGraph | No
     """
     cdg = cdg or ChannelDependencyGraph(algorithm)
     nonadaptive = is_nonadaptive(algorithm)
-    cycle = find_one_cycle(cdg.graph())
+    cycle = find_one_cycle(cdg.dep)
     if cycle is None:
         numbering = cdg.numbering()
         return Verdict(

@@ -66,7 +66,7 @@ def duato_condition(
             reason=f"candidate R1 not connected: {why}",
             evidence={"applicable": True, "r1_connected": False},
         )
-    cycle = find_one_cycle(ecdg.graph())
+    cycle = find_one_cycle(ecdg.dep)
     if cycle is None:
         return Verdict(
             algorithm.name, "Duato", True,

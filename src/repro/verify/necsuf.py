@@ -81,7 +81,7 @@ def theorem1(algorithm: RoutingAlgorithm, *, cwg: ChannelWaitingGraph | None = N
     if not wc:
         return Verdict(algorithm.name, "Theorem 1", False, necessary_and_sufficient=False,
                        reason=f"not wait-connected: {why}")
-    cycle = find_one_cycle(cwg.graph())
+    cycle = find_one_cycle(cwg.dep)
     if cycle is None:
         return Verdict(algorithm.name, "Theorem 1", True, necessary_and_sufficient=False,
                        reason="wait-connected and CWG is acyclic",
@@ -117,8 +117,7 @@ def theorem2(
     if not wc:
         return Verdict(algorithm.name, "Theorem 2", False,
                        reason=f"not wait-connected: {why}")
-    graph = cwg.graph()
-    if find_one_cycle(graph) is None:
+    if find_one_cycle(cwg.dep) is None:
         return Verdict(algorithm.name, "Theorem 2", True,
                        reason="wait-connected and CWG is acyclic",
                        evidence={"cwg_edges": len(cwg), "cycles": 0})
@@ -165,7 +164,7 @@ def _theorem2_enumerated(
     cycle_limit: int | None,
 ) -> Verdict:
     """Enumerate-and-classify variant of Theorem 2 (full cycle census)."""
-    cycles = find_cycles(cwg.graph(), limit=cycle_limit)
+    cycles = find_cycles(cwg.dep, limit=cycle_limit)
     classifier = CycleClassifier(cwg)
     n_false = 0
     for cy in cycles:
@@ -222,7 +221,7 @@ def theorem3(
     if not wc:
         return Verdict(algorithm.name, "Theorem 3", False,
                        reason=f"not wait-connected: {why}")
-    if find_one_cycle(cwg.graph()) is None:
+    if find_one_cycle(cwg.dep) is None:
         return Verdict(algorithm.name, "Theorem 3", True,
                        reason="wait-connected and CWG is acyclic (CWG' = CWG)",
                        evidence={"cwg_edges": len(cwg)})
@@ -260,7 +259,7 @@ def theorem3(
     ):
         narrowed = _NarrowedWaiting(algorithm, key)
         ncwg = ChannelWaitingGraph(narrowed)
-        if find_one_cycle(ncwg.graph()) is None:
+        if find_one_cycle(ncwg.dep) is None:
             return Verdict(
                 algorithm.name, "Theorem 3", True,
                 reason=f"wait-connected CWG' with acyclic closure found (waiting narrowed to {label})",

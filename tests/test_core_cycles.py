@@ -91,3 +91,30 @@ class TestEnumeration:
             for cy in iter_simple_cycles(g, limit=2):
                 yielded.append(cy)
         assert len(yielded) == 2  # never more than the limit
+
+    def test_limit_zero(self):
+        # limit=0 is "prove acyclic or raise": yields nothing either way
+        from repro.core.cycles import iter_simple_cycles
+
+        acyclic, _ = self.graph([(0, 1), (1, 2)])
+        assert find_cycles(acyclic, limit=0) == []
+        assert list(iter_simple_cycles(acyclic, limit=0)) == []
+        cyclic, _ = self.graph([(0, 1), (1, 0)])
+        with pytest.raises(CycleExplosion):
+            find_cycles(cyclic, limit=0)
+        it = iter_simple_cycles(cyclic, limit=0)
+        with pytest.raises(CycleExplosion):
+            next(it)
+
+    def test_limit_none_is_unbounded(self):
+        # complete digraph on 5 vertices: sum_{k=2..5} C(5,k)(k-1)! = 84
+        cs = chans(5)
+        g = nx.DiGraph()
+        for a in cs:
+            for b in cs:
+                if a != b:
+                    g.add_edge(a, b)
+        assert len(find_cycles(g, limit=None)) == 84
+        with pytest.raises(CycleExplosion):
+            find_cycles(g, limit=83)
+        assert len(find_cycles(g, limit=84)) == 84
