@@ -9,7 +9,9 @@ Subcommands
 ``graph-stats``   print the kernel summary (SCCs, acyclicity, fingerprint)
                   of an algorithm's CWG, CDG, or ECDG;
 ``simulate``      run the wormhole simulator and print a latency/throughput row;
-``sim-sweep``     fan a simulation grid across a process pool.
+``sim-sweep``     fan a simulation grid across a process pool;
+``fuzz``          differential-fuzz the verifier stack (or replay the corpus);
+``regen-golden``  rebuild the simulator golden-digest fixture (needs ``--force``).
 
 Examples::
 
@@ -21,6 +23,9 @@ Examples::
         --rate 0.2 --cycles 3000
     python -m repro sim-sweep --algorithms e-cube-mesh,highest-positive-last \
         --patterns uniform,transpose --rates 0.1,0.2,0.3 --seeds 3,5 --jobs 4
+    python -m repro fuzz --seed 42 --cases 200 --corpus-dir corpus
+    python -m repro fuzz --replay-corpus corpus
+    python -m repro regen-golden --force
 """
 
 from __future__ import annotations
@@ -220,6 +225,104 @@ def cmd_sim_sweep(args) -> int:
     return 1 if report.errors else 0
 
 
+def cmd_fuzz(args) -> int:
+    from .fuzz import (
+        DEFAULT_FAMILIES,
+        FAMILIES,
+        FuzzConfig,
+        fuzz_table,
+        replay_corpus,
+        replay_table,
+        run_campaign,
+    )
+
+    if args.replay_corpus is not None:
+        report = replay_corpus(args.replay_corpus)
+        print(replay_table(report))
+        return 0 if report.ok else 1
+
+    families = DEFAULT_FAMILIES
+    if args.families:
+        families = tuple(f.strip() for f in args.families.split(",") if f.strip())
+        unknown = [f for f in families if f not in FAMILIES]
+        if unknown:
+            raise SystemExit(f"unknown families {unknown}; known: {sorted(FAMILIES)}")
+    config = FuzzConfig(
+        seed=args.seed,
+        max_cases=args.cases if args.cases > 0 else None,
+        max_seconds=args.seconds,
+        families=families,
+        stack=args.stack,
+        workers=args.jobs,
+        corpus_dir=args.corpus_dir,
+        shrink_budget=args.shrink_budget,
+    )
+    try:
+        report = run_campaign(config)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    print(fuzz_table(report))
+    return 0 if report.clean else 1
+
+
+def cmd_regen_golden(args) -> int:
+    import importlib
+    import json
+    from pathlib import Path
+
+    tests_dir = Path(__file__).resolve().parents[2] / "tests"
+    if not (tests_dir / "golden_matrix.py").is_file():
+        raise SystemExit(f"golden matrix module not found under {tests_dir}")
+    sys.path.insert(0, str(tests_dir))
+    try:
+        gm = importlib.import_module("golden_matrix")
+    finally:
+        sys.path.remove(str(tests_dir))
+
+    fixture = Path(args.fixture) if args.fixture else gm.FIXTURE
+    only = None
+    if args.only:
+        only = [c.strip() for c in args.only.split(",") if c.strip()]
+        unknown = [c for c in only if c not in gm.CASES]
+        if unknown:
+            raise SystemExit(f"unknown golden cases {unknown}; known: {sorted(gm.CASES)}")
+
+    if args.check:
+        recorded = gm.load_fixture()
+        bad = 0
+        for cid in only or sorted(gm.CASES):
+            got = gm.run_case(cid)
+            ok = recorded.get(cid) == got
+            bad += not ok
+            print(f"{cid:24} {'ok' if ok else 'MISMATCH'}")
+        return 1 if bad else 0
+
+    if not args.force:
+        targets = only or sorted(gm.CASES)
+        raise SystemExit(
+            f"refusing to regenerate {len(targets)} golden digest(s) in {fixture}.\n"
+            "Golden digests pin simulator behavior; rewrite them only when a\n"
+            "change is *intended* to alter it.  Re-run with --force to proceed,\n"
+            "or with --check to compare without writing."
+        )
+
+    recorded = {}
+    if fixture.is_file():
+        with open(fixture) as f:
+            recorded = json.load(f)
+    digests = dict(recorded)
+    for cid in only or sorted(gm.CASES):
+        digests[cid] = gm.run_case(cid)
+        changed = recorded.get(cid) != digests[cid]
+        print(f"{cid:24} {digests[cid]}{'  (changed)' if changed else ''}")
+    fixture.parent.mkdir(parents=True, exist_ok=True)
+    with open(fixture, "w") as f:
+        json.dump(digests, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {len(digests)} digests to {fixture}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -299,8 +402,44 @@ def main(argv: list[str] | None = None) -> int:
     pw.add_argument("--format", default="table", choices=["table", "json"])
     pw.add_argument("--output", default=None, help="write the report to a file")
 
+    pf = sub.add_parser(
+        "fuzz",
+        help="differential-fuzz the verifiers with metamorphic oracles",
+    )
+    pf.add_argument("--seed", type=int, default=0, help="campaign master seed")
+    pf.add_argument("--cases", type=int, default=200,
+                    help="case budget (<= 0 = unbounded, use --seconds)")
+    pf.add_argument("--seconds", type=float, default=None,
+                    help="wall-clock budget (machine-dependent case coverage)")
+    pf.add_argument("--families", default=None,
+                    help="comma-separated generator families (default: all)")
+    pf.add_argument("--stack", default="real",
+                    help='oracle stack: "real" or "planted:<variant>"')
+    pf.add_argument("--jobs", type=int, default=0,
+                    help="worker processes (0/1 = deterministic in-process)")
+    pf.add_argument("--corpus-dir", default=None,
+                    help="save shrunk reproducers here (default: don't)")
+    pf.add_argument("--shrink-budget", type=int, default=600,
+                    help="max oracle evaluations per shrink")
+    pf.add_argument("--replay-corpus", default=None, metavar="DIR",
+                    help="replay a corpus directory instead of generating cases")
+
+    pr = sub.add_parser(
+        "regen-golden",
+        help="rebuild tests/fixtures/sim_golden_digests.json (needs --force)",
+    )
+    pr.add_argument("--force", action="store_true",
+                    help="actually rewrite the fixture")
+    pr.add_argument("--check", action="store_true",
+                    help="compare current digests against the fixture, write nothing")
+    pr.add_argument("--only", default=None,
+                    help="comma-separated case ids (default: the whole matrix)")
+    pr.add_argument("--fixture", default=None,
+                    help="alternate fixture path (default: the tests/ fixture)")
+
     args = parser.parse_args(argv)
-    if args.command not in ("catalog", "verify-batch", "sim-sweep") and args.topology is None:
+    needs_topology = ("verify", "dot", "graph-stats", "simulate")
+    if args.command in needs_topology and args.topology is None:
         args.topology = CATALOG[args.algorithm].topology
     return {
         "catalog": cmd_catalog,
@@ -310,6 +449,8 @@ def main(argv: list[str] | None = None) -> int:
         "graph-stats": cmd_graph_stats,
         "simulate": cmd_simulate,
         "sim-sweep": cmd_sim_sweep,
+        "fuzz": cmd_fuzz,
+        "regen-golden": cmd_regen_golden,
     }[args.command](args)
 
 

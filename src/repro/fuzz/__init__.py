@@ -1,0 +1,98 @@
+"""Differential fuzzing: generators, metamorphic oracles, shrinking, corpus.
+
+The subsystem mass-generates random topologies and routing relations,
+cross-checks every case through the full verifier/simulator oracle stack
+(:mod:`repro.fuzz.oracles`), shrinks each implication violation to a minimal
+table-form reproducer (:mod:`repro.fuzz.shrink`), and persists the result as
+a replayable corpus entry (:mod:`repro.fuzz.corpus`).  Deliberately broken
+checker variants (:mod:`repro.fuzz.planted`) act as negative controls that
+prove the oracles can actually catch verifier bugs.
+
+Entry points: ``python -m repro fuzz`` or :func:`run_campaign`.
+"""
+
+from .corpus import (
+    CorpusEntry,
+    ReplayResult,
+    load_corpus,
+    replay_entry,
+    resolve_stack,
+    save_entry,
+)
+from .generators import (
+    DEFAULT_FAMILIES,
+    FAMILIES,
+    CaseSpec,
+    build_case,
+    case_stream,
+    stable_bits,
+)
+from .oracles import (
+    Checker,
+    CheckerResult,
+    Discrepancy,
+    OracleReport,
+    OracleStack,
+    REAL_STACK,
+    focus,
+    run_stack,
+)
+from .planted import PLANTED_VARIANTS, planted_stack
+from .runner import (
+    CaseOutcome,
+    FoundDiscrepancy,
+    FuzzConfig,
+    FuzzReport,
+    FuzzRunner,
+    ReplayReport,
+    fuzz_table,
+    replay_corpus,
+    replay_table,
+    replay_verdict,
+    run_campaign,
+    run_case,
+)
+from .shrink import ShrinkResult, discrepancy_predicate, shrink
+from .table import TableCase, TableRouting
+
+__all__ = [
+    "CaseOutcome",
+    "CaseSpec",
+    "Checker",
+    "CheckerResult",
+    "CorpusEntry",
+    "DEFAULT_FAMILIES",
+    "Discrepancy",
+    "FAMILIES",
+    "FoundDiscrepancy",
+    "FuzzConfig",
+    "FuzzReport",
+    "FuzzRunner",
+    "OracleReport",
+    "OracleStack",
+    "PLANTED_VARIANTS",
+    "REAL_STACK",
+    "ReplayReport",
+    "ReplayResult",
+    "ShrinkResult",
+    "TableCase",
+    "TableRouting",
+    "build_case",
+    "case_stream",
+    "discrepancy_predicate",
+    "focus",
+    "fuzz_table",
+    "load_corpus",
+    "planted_stack",
+    "replay_corpus",
+    "replay_entry",
+    "replay_table",
+    "replay_verdict",
+    "resolve_stack",
+    "run_campaign",
+    "run_case",
+    "run_stack",
+    "save_entry",
+    "shrink",
+    "stable_bits",
+]

@@ -1,0 +1,152 @@
+"""The replayable corpus: shrunk reproducers saved as standalone JSON files.
+
+Every discrepancy the fuzzer finds (after shrinking) becomes one file under
+``corpus/``: the materialized table, the generator spec it came from, the
+oracle stack it fired under, and the discrepancy keys it must reproduce.
+Entries are content-addressed -- the filename embeds a digest of the
+canonical payload -- so re-finding the same minimal case is idempotent and
+corpus files never silently drift.
+
+Replay semantics depend on the stack polarity:
+
+* ``real`` entries are *live bugs*: replaying them must show the
+  discrepancy again (that is what makes the file a faithful reproducer),
+  and a clean tree should contain none -- CI fails if one fires.
+* ``planted:<variant>`` entries are *negative controls*: each must keep
+  firing under its broken-checker stack, proving the oracles still have
+  teeth after any refactor of the verifiers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from .generators import CaseSpec
+from .oracles import OracleStack, REAL_STACK, run_stack
+from .table import TableCase
+
+FORMAT_VERSION = 1
+
+
+@dataclass
+class CorpusEntry:
+    """One shrunk, re-runnable reproducer."""
+
+    stack: str
+    table: TableCase
+    discrepancy_keys: list[str]
+    #: the generator spec the discrepancy was found on (pre-shrink), if any
+    spec: CaseSpec | None = None
+    note: str = ""
+
+    def payload(self) -> dict[str, Any]:
+        return {
+            "format": FORMAT_VERSION,
+            "stack": self.stack,
+            "discrepancy_keys": sorted(self.discrepancy_keys),
+            "spec": self.spec.to_json() if self.spec else None,
+            "note": self.note,
+            "table": self.table.to_json(),
+        }
+
+    @property
+    def entry_id(self) -> str:
+        blob = json.dumps(self.payload(), sort_keys=True).encode()
+        return hashlib.blake2b(blob, digest_size=6).hexdigest()
+
+    def filename(self) -> str:
+        safe_stack = self.stack.replace(":", "-")
+        return f"{safe_stack}-{self.entry_id}.json"
+
+    @classmethod
+    def from_json(cls, doc: dict[str, Any]) -> "CorpusEntry":
+        if doc.get("format") != FORMAT_VERSION:
+            raise ValueError(f"unsupported corpus format {doc.get('format')!r}")
+        return cls(
+            stack=str(doc["stack"]),
+            table=TableCase.from_json(doc["table"]),
+            discrepancy_keys=[str(k) for k in doc["discrepancy_keys"]],
+            spec=CaseSpec.from_json(doc["spec"]) if doc.get("spec") else None,
+            note=str(doc.get("note", "")),
+        )
+
+
+def save_entry(corpus_dir: str | Path, entry: CorpusEntry) -> Path:
+    """Write an entry (idempotent: same minimal case, same file)."""
+    directory = Path(corpus_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / entry.filename()
+    path.write_text(json.dumps(entry.payload(), sort_keys=True, indent=2) + "\n")
+    return path
+
+
+def load_corpus(corpus_dir: str | Path) -> list[tuple[Path, CorpusEntry]]:
+    """All entries under ``corpus_dir``, sorted by filename."""
+    directory = Path(corpus_dir)
+    if not directory.is_dir():
+        return []
+    out = []
+    for path in sorted(directory.glob("*.json")):
+        out.append((path, CorpusEntry.from_json(json.loads(path.read_text()))))
+    return out
+
+
+def resolve_stack(name: str) -> OracleStack:
+    """Map a recorded stack name back to a runnable stack."""
+    if name == "real":
+        return REAL_STACK
+    if name.startswith("planted:"):
+        from .planted import planted_stack
+
+        return planted_stack(name.split(":", 1)[1])
+    raise ValueError(f"unknown oracle stack {name!r}")
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying one corpus entry."""
+
+    entry: CorpusEntry
+    path: Path | None
+    #: every recorded discrepancy fired again
+    reproduced: bool
+    #: two back-to-back runs produced identical discrepancy keys
+    deterministic: bool
+    observed_keys: list[str] = field(default_factory=list)
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """Replay is healthy: deterministic, and the bug fires iff it should.
+
+        A ``real`` entry that reproduces is a *live* bug -- the entry is a
+        faithful reproducer, but the tree is broken; callers distinguish
+        that via :attr:`reproduced` and the stack polarity.  ``ok`` only
+        says the file behaves as a corpus entry must: it replays cleanly
+        and reproduces its recorded discrepancies.
+        """
+        return not self.error and self.reproduced and self.deterministic
+
+
+def replay_entry(entry: CorpusEntry, path: Path | None = None) -> ReplayResult:
+    """Re-run an entry's oracle stack on its table, twice."""
+    try:
+        stack = resolve_stack(entry.stack)
+        first = run_stack(entry.table.build(), stack)
+        second = run_stack(entry.table.build(), stack)
+    except Exception as exc:  # noqa: BLE001 -- a corpus file must never crash replay
+        return ReplayResult(entry=entry, path=path, reproduced=False,
+                            deterministic=False,
+                            error=f"{type(exc).__name__}: {exc}")
+    keys1, keys2 = first.discrepancy_keys(), second.discrepancy_keys()
+    return ReplayResult(
+        entry=entry,
+        path=path,
+        reproduced=frozenset(entry.discrepancy_keys) <= keys1,
+        deterministic=keys1 == keys2,
+        observed_keys=sorted(keys1),
+    )

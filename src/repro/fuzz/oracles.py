@@ -1,0 +1,314 @@
+"""The metamorphic oracle stack: independent deciders with implication rules.
+
+Every fuzz case runs through four independent deciders, and their verdicts
+are not compared for equality -- the checkers answer different questions --
+but for *implication violations*.  Each checker result is reduced to at most
+two claims:
+
+* **proof of freedom** -- a sound sufficient condition certified the
+  relation (an acyclic-graph certificate or an authoritative "no True
+  Cycles" theorem verdict);
+* **proof of deadlock** -- an authoritative refutation: a theorem verdict
+  with ``necessary_and_sufficient=True`` (a reachable Definition 12
+  configuration was constructed), or the simulator actually deadlocking.
+
+The metamorphic invariant is that the two claim sets can never both be
+nonempty.  Checkers that merely *fail to certify* (Duato with no certifying
+escape among the candidates, Dally--Seitz on a cyclic CDG, a theorem run
+that exhausted its budget) claim nothing.
+
+Implication table (checker -> what its verdict may claim):
+
+=====================  ==============  ==================================
+checker                free claim      deadlock claim
+=====================  ==============  ==================================
+theorem (Thm 1/2/3)    deadlock_free   refuted with n&s=True
+theorem-enum (Thm 2)   deadlock_free   refuted with n&s=True
+duato (ECDG search)    deadlock_free   never (search is incomplete)
+dally-seitz (CDG)      deadlock_free   never (necessity unsound for
+                                       waiting-channel regimes: Figure 4)
+sim (adversarial)      never           deadlock detector fired
+=====================  ==============  ==================================
+
+One extra cross-check rides along: for SPECIFIC-waiting relations the
+enumerate-then-classify Theorem 2 and the segment-chain-search Theorem 2
+are two implementations of the same decision procedure, so two
+authoritative verdicts must agree exactly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..routing.relation import RoutingAlgorithm, WaitPolicy
+from ..sim import BernoulliTraffic, SimConfig, WormholeSimulator
+from ..verify.dally_seitz import dally_seitz
+from ..verify.duato import search_escape
+from ..verify.necsuf import theorem2, verify
+from ..verify.report import Verdict
+
+#: search budgets shared with tests/test_differential_oracles.py
+BOUNDS = dict(cycle_limit=2_000, max_nodes=100_000)
+#: the adversarial simulator configuration of the differential test suite
+ADVERSARIAL = dict(buffer_depth=1, deadlock_check_interval=16)
+
+
+@dataclass
+class CheckerResult:
+    """One checker's verdict reduced to its metamorphic claims."""
+
+    checker: str
+    condition: str
+    #: the raw boolean answer, None if the checker errored
+    deadlock_free: bool | None
+    #: verdict carried an "iff" guarantee (authoritative either way)
+    authoritative: bool
+    claims_free: bool
+    claims_deadlock: bool
+    detail: str = ""
+    error: str | None = None
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "checker": self.checker,
+            "condition": self.condition,
+            "deadlock_free": self.deadlock_free,
+            "authoritative": self.authoritative,
+            "claims_free": self.claims_free,
+            "claims_deadlock": self.claims_deadlock,
+            "detail": self.detail,
+            "error": self.error,
+        }
+
+
+def result_from_verdict(checker: str, verdict: Verdict, *, claims_deadlock: bool) -> CheckerResult:
+    """Reduce a :class:`Verdict` to its claims; freedom claims are implicit."""
+    return CheckerResult(
+        checker=checker,
+        condition=verdict.condition,
+        deadlock_free=verdict.deadlock_free,
+        authoritative=verdict.necessary_and_sufficient,
+        claims_free=verdict.deadlock_free,
+        claims_deadlock=claims_deadlock,
+        detail=verdict.reason,
+    )
+
+
+def _errored(checker: str, exc: BaseException) -> CheckerResult:
+    return CheckerResult(
+        checker=checker, condition="error", deadlock_free=None,
+        authoritative=False, claims_free=False, claims_deadlock=False,
+        error=f"{type(exc).__name__}: {exc}",
+    )
+
+
+# ----------------------------------------------------------------------
+# the checkers
+# ----------------------------------------------------------------------
+def check_theorem(algorithm: RoutingAlgorithm) -> CheckerResult:
+    """The paper's condition (Theorem 2 or 3 by wait policy)."""
+    verdict = verify(algorithm, **BOUNDS)
+    return result_from_verdict(
+        "theorem", verdict,
+        claims_deadlock=not verdict.deadlock_free and verdict.necessary_and_sufficient,
+    )
+
+
+def check_theorem_enumerated(algorithm: RoutingAlgorithm) -> CheckerResult | None:
+    """Enumerate-then-classify Theorem 2; only defined for SPECIFIC waiting."""
+    if algorithm.wait_policy is not WaitPolicy.SPECIFIC:
+        return None
+    verdict = theorem2(algorithm, enumerate_cycles=True, cycle_limit=BOUNDS["cycle_limit"])
+    return result_from_verdict(
+        "theorem-enum", verdict,
+        claims_deadlock=not verdict.deadlock_free and verdict.necessary_and_sufficient,
+    )
+
+
+def check_duato(algorithm: RoutingAlgorithm) -> CheckerResult:
+    """Duato's ECDG condition over the natural escape candidates."""
+    verdict = search_escape(algorithm)
+    return result_from_verdict("duato", verdict, claims_deadlock=False)
+
+
+def check_dally_seitz(algorithm: RoutingAlgorithm) -> CheckerResult:
+    """The acyclic-CDG condition.  Certificates only: the paper's Figure 4
+    shows a cyclic CDG does not prove deadlock once waiting channels enter
+    the model, so a refutation here claims nothing."""
+    verdict = dally_seitz(algorithm)
+    return result_from_verdict("dally-seitz", verdict, claims_deadlock=False)
+
+
+def check_simulator(algorithm: RoutingAlgorithm) -> CheckerResult:
+    """Adversarial flit-level runs: an actual deadlock is ground truth."""
+    deadlock = None
+    runs = 0
+    for seed, rate, pattern in ((3, 0.7, "uniform"), (11, 0.6, "hotspot")):
+        runs += 1
+        sim = WormholeSimulator(
+            algorithm,
+            BernoulliTraffic(algorithm.network, rate=rate, pattern=pattern,
+                             length=6, stop_at=600),
+            SimConfig(seed=seed, **ADVERSARIAL),
+        )
+        sim.run(1_000)
+        if sim.deadlock is not None:
+            deadlock = sim.deadlock
+            break
+    detail = (f"deadlock detected: {deadlock.describe()}" if deadlock
+              else f"no deadlock across {runs} adversarial runs")
+    return CheckerResult(
+        checker="sim", condition="simulator", deadlock_free=deadlock is None,
+        authoritative=False, claims_free=False,
+        claims_deadlock=deadlock is not None, detail=detail,
+    )
+
+
+@dataclass(frozen=True)
+class Checker:
+    """A named oracle: callable(algorithm) -> CheckerResult | None."""
+
+    name: str
+    run: Callable[[RoutingAlgorithm], CheckerResult | None]
+
+
+REAL_CHECKERS: tuple[Checker, ...] = (
+    Checker("theorem", check_theorem),
+    Checker("theorem-enum", check_theorem_enumerated),
+    Checker("duato", check_duato),
+    Checker("dally-seitz", check_dally_seitz),
+    Checker("sim", check_simulator),
+)
+
+
+@dataclass(frozen=True)
+class OracleStack:
+    """A named set of checkers run together over each case."""
+
+    name: str
+    checkers: tuple[Checker, ...] = REAL_CHECKERS
+
+
+REAL_STACK = OracleStack("real")
+
+
+def focus(stack: OracleStack, checker_names: Iterable[str]) -> OracleStack:
+    """A sub-stack running only the named checkers (same stack name).
+
+    The shrinker uses this to re-evaluate candidates against just the two
+    checkers a discrepancy involves: the discrepancy key is unchanged, and
+    the uninvolved (often expensive) checkers stop dominating shrink time.
+    """
+    wanted = set(checker_names)
+    kept = tuple(c for c in stack.checkers if c.name in wanted)
+    missing = wanted - {c.name for c in kept}
+    if missing:
+        raise ValueError(f"stack {stack.name!r} has no checker(s) {sorted(missing)}")
+    return OracleStack(stack.name, kept)
+
+
+# ----------------------------------------------------------------------
+# running a stack
+# ----------------------------------------------------------------------
+@dataclass
+class Discrepancy:
+    """A violated implication between two checkers on one case."""
+
+    kind: str          # "free-vs-deadlock" | "authoritative-disagreement"
+    free_checker: str
+    deadlock_checker: str
+    detail: str = ""
+
+    def key(self) -> str:
+        """Identity used by the shrinker's "same bug persists" predicate."""
+        return f"{self.kind}:{self.free_checker}<>{self.deadlock_checker}"
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "free_checker": self.free_checker,
+            "deadlock_checker": self.deadlock_checker,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class OracleReport:
+    """All checker results for one case plus the derived discrepancies."""
+
+    stack: str
+    results: list[CheckerResult] = field(default_factory=list)
+    discrepancies: list[Discrepancy] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.discrepancies
+
+    def result(self, checker: str) -> CheckerResult | None:
+        for r in self.results:
+            if r.checker == checker:
+                return r
+        return None
+
+    def discrepancy_keys(self) -> frozenset[str]:
+        return frozenset(d.key() for d in self.discrepancies)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "stack": self.stack,
+            "results": [r.to_json() for r in self.results],
+            "discrepancies": [d.to_json() for d in self.discrepancies],
+        }
+
+
+def run_stack(algorithm: RoutingAlgorithm, stack: OracleStack = REAL_STACK) -> OracleReport:
+    """Run every checker of ``stack`` and derive implication violations.
+
+    Checker exceptions are captured as errored results (claiming nothing):
+    a crash in one decider must not hide what the others would have found,
+    and crash-prone corner cases surface in the campaign's error counters.
+    """
+    report = OracleReport(stack=stack.name)
+    for checker in stack.checkers:
+        try:
+            result = checker.run(algorithm)
+        except Exception as exc:  # noqa: BLE001 -- any checker crash is data
+            result = _errored(checker.name, exc)
+        if result is not None:
+            report.results.append(result)
+
+    free = [r for r in report.results if r.claims_free]
+    dead = [r for r in report.results if r.claims_deadlock]
+    for f in free:
+        for d in dead:
+            report.discrepancies.append(Discrepancy(
+                kind="free-vs-deadlock",
+                free_checker=f.checker,
+                deadlock_checker=d.checker,
+                detail=f"{f.checker} proves freedom ({f.detail}) but "
+                       f"{d.checker} proves deadlock ({d.detail})",
+            ))
+
+    # Metamorphic cross-check: two authoritative Theorem 2 implementations
+    # must agree exactly (this also fires when both refute but one is wrong
+    # about *which* way, which the claim rules above would miss).
+    t_search, t_enum = report.result("theorem"), report.result("theorem-enum")
+    if (
+        t_search is not None and t_enum is not None
+        and t_search.authoritative and t_enum.authoritative
+        and t_search.deadlock_free is not None and t_enum.deadlock_free is not None
+        and t_search.deadlock_free != t_enum.deadlock_free
+    ):
+        f, d = (t_search, t_enum) if t_search.deadlock_free else (t_enum, t_search)
+        already = {(x.free_checker, x.deadlock_checker) for x in report.discrepancies}
+        if (f.checker, d.checker) not in already:
+            report.discrepancies.append(Discrepancy(
+                kind="authoritative-disagreement",
+                free_checker=f.checker,
+                deadlock_checker=d.checker,
+                detail=f"search-based and enumerated Theorem 2 disagree: "
+                       f"{f.checker} says free ({f.detail}); {d.checker} refutes ({d.detail})",
+            ))
+    return report

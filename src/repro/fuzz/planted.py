@@ -1,0 +1,123 @@
+"""Deliberately broken checker variants: the fuzz oracle's negative controls.
+
+A differential fuzzer that never fires might be healthy -- or toothless.
+These planted bugs decide which: each variant re-runs a real checker with a
+known theory error injected, and the acceptance test demands the oracle
+stack catches it within a fixed seed budget and shrinks the discrepancy to
+a tiny reproducer.  Corpus entries produced this way are kept (tagged with
+the stack name) as permanent regression tests that the oracles still have
+teeth.
+
+Variants
+--------
+``cwg-immediate``
+    Builds the CWG from *immediate* waiting sets only (``dt.wait`` instead
+    of ``dt.downstream_wait``), ignoring the Definition 9 note that a
+    message of arbitrary length can occupy ``c1`` while waiting arbitrarily
+    far downstream.  The broken graph is missing wait edges, so the theorem
+    checker wrongly certifies relations whose deadlocks involve multi-hop
+    holds -- exactly what SPECIFIC-policy random relations exercise.
+``duato-no-indirect``
+    Builds the ECDG without INDIRECT / INDIRECT_CROSS dependencies -- the
+    mistake Duato's paper exists to correct (adaptive excursions off the
+    escape layer create escape-to-escape dependencies a direct-only graph
+    misses).  Duato applicability (coherent, minimal-path ``R(n,d)``) makes
+    this one hard to trip generatively; it is pinned by unit tests showing
+    it is observably weaker than the real builder.
+"""
+
+from __future__ import annotations
+
+from ..core.cwg import ChannelWaitingGraph
+from ..core.depgraph import DepGraph
+from ..core.transitions import TransitionCache
+from ..deps.ecdg import DependencyType, ExtendedChannelDependencyGraph, _TYPE_BIT
+from ..routing.relation import RoutingAlgorithm
+from ..verify.duato import search_escape
+from ..verify.necsuf import theorem2, theorem3
+from .oracles import (
+    BOUNDS,
+    Checker,
+    CheckerResult,
+    OracleStack,
+    REAL_CHECKERS,
+    result_from_verdict,
+)
+
+
+class ImmediateWaitCWG(ChannelWaitingGraph):
+    """CWG built from immediate waiting sets only (planted bug).
+
+    Drops every edge that needs the "arbitrary message length" note under
+    Definition 9: ``(c1, c2)`` where ``c2`` is waited on not at ``c1``'s
+    head but somewhere downstream while the message still occupies ``c1``.
+    """
+
+    kind = "CWG[immediate-wait]"
+
+    def __init__(self, algorithm: RoutingAlgorithm, *,
+                 transitions: TransitionCache | None = None) -> None:
+        self.algorithm = algorithm
+        self.transitions = transitions or TransitionCache(algorithm)
+        self.dep = DepGraph(
+            algorithm.network,
+            self.transitions.collect_edge_dests(lambda dt: dt.wait),
+        )
+        self._edge_dests = None
+
+
+class NoIndirectECDG(ExtendedChannelDependencyGraph):
+    """ECDG without indirect dependencies (planted bug)."""
+
+    kind = "ECDG[no-indirect]"
+
+    def _build(self) -> DepGraph:
+        full = super()._build()
+        keep = (1 << _TYPE_BIT[DependencyType.DIRECT]) | (
+            1 << _TYPE_BIT[DependencyType.DIRECT_CROSS])
+        edges = {(u, v): m & keep for u, v, m in full.iter_edges() if m & keep}
+        return DepGraph(self.algorithm.network, edges)
+
+
+# ----------------------------------------------------------------------
+# broken checkers
+# ----------------------------------------------------------------------
+def _broken_theorem(algorithm: RoutingAlgorithm):
+    """The paper's condition, fed the immediate-wait CWG."""
+    from ..routing.relation import WaitPolicy
+
+    cwg = ImmediateWaitCWG(algorithm)
+    if algorithm.wait_policy is WaitPolicy.SPECIFIC:
+        verdict = theorem2(algorithm, cwg=cwg, **BOUNDS)
+    else:
+        verdict = theorem3(algorithm, cwg=cwg, **BOUNDS)
+    return result_from_verdict(
+        "theorem", verdict,
+        claims_deadlock=not verdict.deadlock_free and verdict.necessary_and_sufficient,
+    )
+
+
+def _broken_duato(algorithm: RoutingAlgorithm) -> CheckerResult:
+    verdict = search_escape(algorithm, ecdg_cls=NoIndirectECDG)
+    return result_from_verdict("duato", verdict, claims_deadlock=False)
+
+
+_REPLACEMENTS: dict[str, Checker] = {
+    "cwg-immediate": Checker("theorem", _broken_theorem),
+    "duato-no-indirect": Checker("duato", _broken_duato),
+}
+
+PLANTED_VARIANTS = tuple(_REPLACEMENTS)
+
+
+def planted_stack(variant: str) -> OracleStack:
+    """The real oracle stack with one checker replaced by a broken variant."""
+    try:
+        replacement = _REPLACEMENTS[variant]
+    except KeyError:
+        raise ValueError(
+            f"unknown planted variant {variant!r}; have {sorted(PLANTED_VARIANTS)}"
+        ) from None
+    checkers = tuple(replacement if c.name == replacement.name else c
+                     for c in REAL_CHECKERS)
+    return OracleStack(f"planted:{variant}", checkers)

@@ -1,0 +1,158 @@
+"""Delta-debugging shrinker: reduce a discrepancy to a minimal reproducer.
+
+Given a :class:`~repro.fuzz.table.TableCase` on which an oracle discrepancy
+fires, the shrinker greedily applies reduction passes -- remove a node,
+remove a channel, drop a relation entry, thin a route set -- keeping a
+candidate only when the *same* discrepancy (identified by its
+:meth:`~repro.fuzz.oracles.Discrepancy.key`) still fires on the reduced
+case.  Candidates that break case validity (a disconnected network, a
+relation the checkers crash on) are simply rejected: the predicate wraps
+the whole oracle run and treats any exception as "discrepancy gone".
+
+The passes run cheapest-structure-first (nodes, then channels, then table
+entries, then individual route-set channels) and loop to a fixpoint, so the
+result is 1-minimal with respect to the pass vocabulary: no single node,
+channel, entry, or route-set element can be removed without losing the bug.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from .oracles import OracleStack, REAL_STACK, focus, run_stack
+from .table import TableCase
+
+Predicate = Callable[[TableCase], bool]
+
+#: checkers named by a key "kind:free<>dead" -- both must keep claiming
+def _checkers_of(key: str) -> set[str]:
+    _, _, pair = key.partition(":")
+    a, _, b = pair.partition("<>")
+    return {a, b}
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of a shrink run."""
+
+    case: TableCase
+    #: predicate evaluations spent (accepted + rejected candidates)
+    evaluations: int
+    #: passes looped to a fixpoint within budget (result is 1-minimal)
+    minimal: bool
+
+    @property
+    def num_channels(self) -> int:
+        return len(self.case.channels)
+
+
+def discrepancy_predicate(
+    keys: Iterable[str],
+    stack: OracleStack = REAL_STACK,
+) -> Predicate:
+    """True iff every discrepancy in ``keys`` still fires on the case."""
+    wanted = frozenset(keys)
+    if not wanted:
+        raise ValueError("predicate needs at least one discrepancy key to preserve")
+    involved: set[str] = set()
+    for key in wanted:
+        involved |= _checkers_of(key)
+    # Only the checkers the discrepancy names need to re-run per candidate;
+    # the key set is unchanged and the uninvolved checkers cost nothing.
+    # theorem-enum only runs for SPECIFIC-waiting cases, so it may be absent
+    # from the stack's checker list in spirit but it is always *registered*.
+    focused = focus(stack, involved)
+
+    def predicate(case: TableCase) -> bool:
+        try:
+            report = run_stack(case.build(), focused)
+        except Exception:  # noqa: BLE001 -- invalid candidate, not an error
+            return False
+        return wanted <= report.discrepancy_keys()
+
+    return predicate
+
+
+def shrink(
+    case: TableCase,
+    predicate: Predicate,
+    *,
+    max_evaluations: int = 600,
+) -> ShrinkResult:
+    """Greedily minimize ``case`` while ``predicate`` holds.
+
+    ``predicate(case)`` must already be True; the returned case satisfies it
+    too.  ``max_evaluations`` bounds total oracle runs -- if the budget runs
+    out mid-pass the best case so far is returned with ``minimal=False``.
+    """
+    if not predicate(case):
+        raise ValueError("shrink() requires the discrepancy to fire on the initial case")
+    spent = 1
+
+    def attempt(candidate: TableCase) -> bool:
+        nonlocal spent
+        if spent >= max_evaluations:
+            return False
+        spent += 1
+        return predicate(candidate)
+
+    changed = True
+    exhausted = False
+    while changed and not exhausted:
+        changed = False
+        for reducer in (_pass_nodes, _pass_channels, _pass_entries, _pass_thin):
+            case, progressed, exhausted = reducer(case, attempt,
+                                                  lambda: spent >= max_evaluations)
+            changed = changed or progressed
+            if exhausted:
+                break
+    return ShrinkResult(case=case, evaluations=spent, minimal=not exhausted)
+
+
+def _greedy(case: TableCase, attempt, out_of_budget, candidates_of):
+    """Run one pass to its own fixpoint.
+
+    ``candidates_of(case)`` yields reduced candidates for the *current*
+    case; after an acceptance the candidate list is regenerated (edits
+    renumber nodes/channels, so stale indices would be wrong).
+    """
+    progressed = False
+    accepted = True
+    while accepted:
+        accepted = False
+        for candidate in candidates_of(case):
+            if out_of_budget():
+                return case, progressed, True
+            if attempt(candidate):
+                case = candidate
+                progressed = accepted = True
+                break
+    return case, progressed, False
+
+
+def _pass_nodes(case, attempt, out_of_budget):
+    return _greedy(case, attempt, out_of_budget, lambda c: (
+        c.remove_node(n) for n in range(c.num_nodes - 1, -1, -1) if c.num_nodes > 2
+    ))
+
+
+def _pass_channels(case, attempt, out_of_budget):
+    return _greedy(case, attempt, out_of_budget, lambda c: (
+        c.remove_channel(i) for i in range(len(c.channels) - 1, -1, -1)
+    ))
+
+
+def _pass_entries(case, attempt, out_of_budget):
+    return _greedy(case, attempt, out_of_budget, lambda c: (
+        c.drop_entry(k) for k in sorted(c.routes)
+    ))
+
+
+def _pass_thin(case, attempt, out_of_budget):
+    def candidates(c: TableCase):
+        for key in sorted(c.routes):
+            if len(c.routes[key]) > 1:
+                for ci in c.routes[key]:
+                    yield c.thin_entry(key, ci)
+    return _greedy(case, attempt, out_of_budget, candidates)

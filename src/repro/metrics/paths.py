@@ -22,6 +22,9 @@ def minimal_path_matrix(algorithm: RoutingAlgorithm) -> dict[tuple[int, int], in
             if s == d:
                 continue
             k = dist[s][d]
+            if k < 0:  # unreachable (networks frozen without Definition 1)
+                out[(s, d)] = 0
+                continue
             out[(s, d)] = sum(
                 1 for p in enumerate_paths(algorithm, s, d, max_hops=k) if len(p) == k
             )
@@ -44,6 +47,8 @@ def physical_path_coverage(algorithm: RoutingAlgorithm) -> float:
             if s == d:
                 continue
             k = dist[s][d]
+            if k < 0:  # unreachable pairs have no minimal paths to cover
+                continue
             permitted = {
                 tuple(path_nodes(p, s))
                 for p in enumerate_paths(algorithm, s, d, max_hops=k)
@@ -52,7 +57,7 @@ def physical_path_coverage(algorithm: RoutingAlgorithm) -> float:
             universe = _minimal_node_paths(net, s, d, k, dist)
             acc += len(permitted) / len(universe)
             pairs += 1
-    return acc / pairs
+    return acc / pairs if pairs else 1.0
 
 
 def max_edge_disjoint_minimal_paths(algorithm: RoutingAlgorithm, src: int, dest: int) -> int:
@@ -64,6 +69,8 @@ def max_edge_disjoint_minimal_paths(algorithm: RoutingAlgorithm, src: int, dest:
     net = algorithm.network
     dist = net.shortest_distances()
     k = dist[src][dest]
+    if k < 0:
+        return 0
     paths = [
         frozenset(c.endpoints for c in p)
         for p in enumerate_paths(algorithm, src, dest, max_hops=k)

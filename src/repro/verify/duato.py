@@ -48,8 +48,14 @@ def duato_condition(
     *,
     check_applicability: bool = True,
     max_hops: int | None = None,
+    ecdg_cls: type[ExtendedChannelDependencyGraph] = ExtendedChannelDependencyGraph,
 ) -> Verdict:
-    """Apply Duato's condition with a given escape set / subfunction."""
+    """Apply Duato's condition with a given escape set / subfunction.
+
+    ``ecdg_cls`` is a seam for alternative ECDG builders; the fuzz
+    subsystem's deliberately broken variants use it to prove the oracle
+    stack can catch a checker that drops a dependency type.
+    """
     if check_applicability:
         ok, why = applicability(algorithm, max_hops=max_hops)
         if not ok:
@@ -58,7 +64,7 @@ def duato_condition(
                 reason=f"condition not applicable: {why}",
                 evidence={"applicable": False},
             )
-    ecdg = ExtendedChannelDependencyGraph(algorithm, escape)
+    ecdg = ecdg_cls(algorithm, escape)
     connected, why = ecdg.subfunction_connected()
     if not connected:
         return Verdict(
@@ -86,6 +92,7 @@ def search_escape(
     *,
     max_hops: int | None = None,
     max_class_union: int = 2,
+    ecdg_cls: type[ExtendedChannelDependencyGraph] = ExtendedChannelDependencyGraph,
 ) -> Verdict:
     """Search the natural escape-set candidates for a certifying R1.
 
@@ -110,7 +117,7 @@ def search_escape(
     candidates.append(("all channels", frozenset(algorithm.network.link_channels)))
     tried = []
     for label, esc in candidates:
-        verdict = duato_condition(algorithm, esc, check_applicability=False)
+        verdict = duato_condition(algorithm, esc, check_applicability=False, ecdg_cls=ecdg_cls)
         tried.append(label)
         if verdict.deadlock_free:
             verdict.reason += f" (escape = {label})"

@@ -1,9 +1,20 @@
 """Shared fixtures: the networks and routing algorithms used across tests.
 
-Also registers the "ci" Hypothesis profile: derandomized (fixed example
-sequence, no flakes across runs/machines) with deadlines disabled (CI
-containers have noisy clocks).  Override with HYPOTHESIS_PROFILE=default
-to fuzz with fresh randomness locally.
+Also registers the Hypothesis profiles and pins the session seed.  All
+generative randomness in the suite -- the Hypothesis strategies in
+``generative.py`` and every seeded fuzz helper -- derives from the single
+session seed (``REPRO_TEST_SEED``, default 0), so one environment knob
+re-randomizes the whole generative surface while the default run stays
+byte-reproducible across machines.
+
+Profiles (select with ``HYPOTHESIS_PROFILE``; default ``ci``):
+
+* ``ci``       derandomized, no deadlines -- fixed example sequence, zero
+               flakes in containers with noisy clocks;
+* ``dev``      fresh randomness, small example counts -- quick local runs
+               that still explore;
+* ``nightly``  fresh randomness, 10x examples -- the deep sweep, meant for
+               scheduled jobs together with ``-m slow`` tests.
 """
 
 from __future__ import annotations
@@ -19,6 +30,18 @@ settings.register_profile(
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
+settings.register_profile(
+    "dev",
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "nightly",
+    deadline=None,
+    max_examples=1000,
+    suppress_health_check=[HealthCheck.too_slow],
+)
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 from repro.topology import (
@@ -28,6 +51,14 @@ from repro.topology import (
     build_mesh,
     build_torus,
 )
+
+
+@pytest.fixture(scope="session")
+def session_seed() -> int:
+    """The suite-wide seed (``REPRO_TEST_SEED``) all generative RNGs derive from."""
+    from tests.generative import SESSION_SEED
+
+    return SESSION_SEED
 
 
 @pytest.fixture(scope="session")

@@ -1,55 +1,62 @@
 """Shared generators: random small networks and seeded routing relations.
 
 Used by the property-based and differential suites (in the spirit of
-arXiv:2503.04583's random-network exercise of deadlock conditions): tiny
-strongly connected digraphs -- 2-4 nodes, 1-3 virtual channels per link --
-paired with seeded minimal routing relations whose route and waiting sets
-are deterministic functions of ``(seed, node, dest)``.  Everything is
-derived from drawn integers through a keyed hash, never from global RNG
-state, so Hypothesis shrinking and replay work and two builds from the same
-draw are identical objects table-for-table.
+arXiv:2503.04583's random-network exercise of deadlock conditions).  The
+implementations live in :mod:`repro.fuzz.generators` -- the differential
+fuzzing subsystem and the test suite exercise the same generator code --
+and this module re-exports them plus the Hypothesis strategies that drive
+them.
+
+Every seed a strategy draws is folded together with the **session seed**
+(:data:`SESSION_SEED`, from ``REPRO_TEST_SEED``, default 0) through the
+keyed hash, so the whole generative surface re-randomizes from one
+environment knob while the default run stays byte-reproducible across
+machines.  Nothing reads global RNG state: two builds from the same draw
+are identical objects table-for-table, and Hypothesis shrinking/replay
+work unchanged.
 """
 
 from __future__ import annotations
 
-import hashlib
+import os
 
 from hypothesis import strategies as st
 
-from repro.routing.relation import NodeDestRouting, WaitPolicy
-from repro.topology.network import Network
+# Canonical implementations -- re-exported so existing imports keep working.
+from repro.fuzz.generators import (
+    ArbitraryRouting,
+    RandomMinimalRouting,
+    build_random_network,
+    faulty_variant,
+    stable_bits,
+)
+from repro.routing.relation import WaitPolicy
+
+__all__ = [
+    "ArbitraryRouting",
+    "RandomMinimalRouting",
+    "SESSION_SEED",
+    "build_random_network",
+    "derive_seed",
+    "faulty_variant",
+    "network_specs",
+    "random_networks",
+    "routed_networks",
+    "stable_bits",
+]
+
+#: the single seed all generative randomness in the suite derives from
+SESSION_SEED = int(os.environ.get("REPRO_TEST_SEED", "0"))
 
 
-def stable_bits(seed: int, *parts) -> int:
-    """32 deterministic bits keyed on ``seed`` and the given parts."""
-    text = "/".join(str(p) for p in (seed, *parts))
-    return int.from_bytes(hashlib.blake2b(text.encode(), digest_size=4).digest(), "big")
+def derive_seed(*parts) -> int:
+    """Fold drawn values into the session seed (32 deterministic bits)."""
+    return stable_bits(SESSION_SEED, "session", *parts)
 
 
 # ----------------------------------------------------------------------
-# networks
+# strategies
 # ----------------------------------------------------------------------
-def build_random_network(
-    num_nodes: int,
-    extra_links: tuple[tuple[int, int], ...],
-    vc_seed: int,
-) -> Network:
-    """A strongly connected multigraph: a directed ring plus extra links.
-
-    The ring ``0 -> 1 -> ... -> 0`` guarantees Definition 1's strong
-    connectivity for any extra-link set; each physical link carries 1-3
-    virtual channels chosen by ``vc_seed``.
-    """
-    net = Network(f"rand({num_nodes}n,{len(extra_links)}x,{vc_seed})")
-    net.add_nodes(num_nodes)
-    links = {(i, (i + 1) % num_nodes) for i in range(num_nodes)}
-    links |= {(a % num_nodes, b % num_nodes) for a, b in extra_links
-              if a % num_nodes != b % num_nodes}
-    for a, b in sorted(links):
-        net.add_link_channels(a, b, 1 + stable_bits(vc_seed, a, b) % 3)
-    return net.freeze()
-
-
 @st.composite
 def network_specs(draw) -> tuple[int, tuple[tuple[int, int], ...], int]:
     """Draw ``(num_nodes, extra_links, vc_seed)`` for build_random_network."""
@@ -58,7 +65,7 @@ def network_specs(draw) -> tuple[int, tuple[tuple[int, int], ...], int]:
         st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
         max_size=4,
     ))
-    vc_seed = draw(st.integers(min_value=0, max_value=2**16))
+    vc_seed = derive_seed("vc", draw(st.integers(min_value=0, max_value=2**16)))
     return n, tuple(tuple(e) for e in extra), vc_seed
 
 
@@ -67,58 +74,10 @@ def random_networks():
     return network_specs().map(lambda spec: build_random_network(*spec))
 
 
-# ----------------------------------------------------------------------
-# routing relations
-# ----------------------------------------------------------------------
-class RandomMinimalRouting(NodeDestRouting):
-    """Seeded minimal routing relation on an arbitrary network.
-
-    The route set at ``(node, dest)`` is a seeded nonempty subset of the
-    outgoing channels that strictly decrease BFS distance to ``dest`` --
-    connected by construction (every node short of the destination always
-    offers at least one minimal channel on a strongly connected network).
-    Under :attr:`WaitPolicy.SPECIFIC` the waiting channel is a seeded
-    single pick from the route set; under :attr:`WaitPolicy.ANY` the whole
-    route set.  Nothing guarantees deadlock freedom -- 1-VC rings routinely
-    produce True Cycles -- which is the point: verdicts land on both sides.
-    """
-
-    name = "random-minimal"
-
-    def __init__(self, network: Network, seed: int,
-                 wait_policy: WaitPolicy = WaitPolicy.ANY) -> None:
-        super().__init__(network)
-        self.seed = seed
-        self.wait_policy = wait_policy
-        self.name = f"random-minimal#{seed}-{wait_policy.value}"
-        self._dist = network.shortest_distances()
-
-    def route_nd(self, node: int, dest: int):
-        if node == dest:
-            return frozenset()
-        d = self._dist[node][dest]
-        minimal = sorted(
-            (c for c in self.network.out_channels(node)
-             if self._dist[c.dst][dest] == d - 1),
-            key=lambda c: c.cid,
-        )
-        keep = [c for c in minimal if stable_bits(self.seed, node, dest, c.cid) & 1]
-        return frozenset(keep or minimal)
-
-    def waiting_channels(self, c_in, node: int, dest: int):
-        permitted = sorted(self.route_nd(node, dest), key=lambda c: c.cid)
-        if not permitted:
-            return frozenset()
-        if self.wait_policy is WaitPolicy.SPECIFIC:
-            pick = stable_bits(self.seed, node, dest, "wait") % len(permitted)
-            return frozenset([permitted[pick]])
-        return frozenset(permitted)
-
-
 @st.composite
 def routed_networks(draw, wait_policy: WaitPolicy | None = None):
     """Draw a ``(network, RandomMinimalRouting)`` pair."""
     net = build_random_network(*draw(network_specs()))
-    seed = draw(st.integers(min_value=0, max_value=2**16))
+    seed = derive_seed("route", draw(st.integers(min_value=0, max_value=2**16)))
     policy = wait_policy or draw(st.sampled_from([WaitPolicy.ANY, WaitPolicy.SPECIFIC]))
     return net, RandomMinimalRouting(net, seed, policy)

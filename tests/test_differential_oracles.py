@@ -101,6 +101,7 @@ def _stress(ra, *, rate, pattern, seed, cycles=800, length=10):
     return sim
 
 
+@pytest.mark.slow
 @settings(max_examples=25)
 @given(routed_networks(wait_policy=WaitPolicy.ANY))
 def test_certified_random_relations_never_deadlock_in_sim(pair):

@@ -1,0 +1,133 @@
+"""Edge cases for the export renderers, Verdict formatting, and path metrics."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from repro.export import batch_table, batch_to_csv, batch_to_json, verdict_block
+from repro.fuzz.generators import RandomMinimalRouting
+from repro.metrics.paths import (
+    max_edge_disjoint_minimal_paths,
+    minimal_path_matrix,
+    physical_path_coverage,
+)
+from repro.pipeline.engine import BatchReport, ConditionResult, JobResult, JobSpec
+from repro.topology.network import Network
+from repro.verify.report import Verdict
+
+
+# ----------------------------------------------------------------------
+# batch report renderers
+# ----------------------------------------------------------------------
+def _report(jobs) -> BatchReport:
+    return BatchReport(jobs=jobs, seconds=0.5, workers=1)
+
+
+def _job(reason: str) -> JobResult:
+    spec = JobSpec(algorithm="e-cube-mesh", topology="mesh", dims=(3, 3), vcs=2)
+    return JobResult(
+        spec=spec, network="mesh(3,3)", fingerprint="f" * 12, seconds=0.1,
+        results=[ConditionResult(
+            key="theorem", condition="Theorem 3", deadlock_free=True,
+            necessary_and_sufficient=True, reason=reason, seconds=0.1,
+            cached=False,
+        )],
+    )
+
+
+def test_empty_report_renders_everywhere():
+    """Zero jobs must not crash any renderer (the CLI hits this with an
+    empty --algorithms selection)."""
+    report = _report([])
+    table = batch_table(report)
+    assert "0 jobs" in table
+    doc = json.loads(batch_to_json(report))
+    assert doc["jobs"] == []
+    rows = list(csv.reader(io.StringIO(batch_to_csv(report))))
+    assert len(rows) == 1  # header only
+
+
+def test_non_ascii_reasons_round_trip_json_and_csv():
+    reason = "cycle c₀→c₁ is a True Cycle — naïve résumé"
+    report = _report([_job(reason)])
+    doc = json.loads(batch_to_json(report))
+    assert doc["jobs"][0]["conditions"][0]["reason"] == reason
+    rows = list(csv.reader(io.StringIO(batch_to_csv(report))))
+    assert rows[1][-1] == reason
+    assert reason in batch_table(report) or "Theorem 3" in batch_table(report)
+
+
+def test_errored_job_renders_single_row():
+    spec = JobSpec(algorithm="x", topology="mesh")
+    bad = JobResult(spec=spec, network="", error="boom: ümläut", seconds=0.2)
+    report = _report([bad])
+    rows = list(csv.reader(io.StringIO(batch_to_csv(report))))
+    assert rows[1][3] == "ERROR" and "ümläut" in rows[1][-1]
+    assert "ERROR" in batch_table(report)
+    assert json.loads(batch_to_json(report))["jobs"][0]["error"].startswith("boom")
+
+
+# ----------------------------------------------------------------------
+# Verdict formatting
+# ----------------------------------------------------------------------
+def test_verdict_summary_variants():
+    safe = Verdict(algorithm="a", condition="Theorem 2", deadlock_free=True,
+                   reason="no True Cycles")
+    assert "DEADLOCK-FREE" in safe.summary()
+    assert "(iff)" in safe.summary()
+    assert "no True Cycles" in safe.summary()
+    assert bool(safe)
+
+    partial = Verdict(algorithm="a", condition="Dally-Seitz", deadlock_free=False,
+                      necessary_and_sufficient=False)
+    assert "NOT deadlock-free" in partial.summary()
+    assert "sufficient-only" in partial.summary()
+    assert str(partial) == partial.summary()
+    assert not partial
+
+
+def test_verdict_block_without_evidence_is_summary_only():
+    v = Verdict(algorithm="a", condition="c", deadlock_free=True)
+    assert verdict_block(v) == v.summary()
+
+
+# ----------------------------------------------------------------------
+# metrics.paths on disconnected networks
+# ----------------------------------------------------------------------
+def _disconnected_routed():
+    """Two 2-cycles with a one-way bridge: node 3 cannot reach node 0."""
+    net = Network("two-islands")
+    net.add_nodes(4)
+    net.add_channel(0, 1)
+    net.add_channel(1, 0)
+    net.add_channel(2, 3)
+    net.add_channel(3, 2)
+    net.add_channel(1, 2)  # bridge, no way back
+    net.freeze(require_strongly_connected=False)
+    return RandomMinimalRouting(net, seed=7)
+
+
+def test_minimal_path_matrix_marks_unreachable_pairs_zero():
+    alg = _disconnected_routed()
+    matrix = minimal_path_matrix(alg)
+    assert matrix[(2, 0)] == 0 and matrix[(3, 1)] == 0
+    assert matrix[(0, 1)] >= 1 and matrix[(0, 3)] >= 1
+
+
+def test_physical_path_coverage_skips_unreachable_pairs():
+    cov = physical_path_coverage(_disconnected_routed())
+    assert 0.0 < cov <= 1.0
+
+
+def test_physical_path_coverage_vacuous_on_singleton():
+    net = Network("lonely")
+    net.add_nodes(1)
+    net.freeze(require_strongly_connected=False)
+    assert physical_path_coverage(RandomMinimalRouting(net, seed=1)) == 1.0
+
+
+def test_edge_disjoint_paths_zero_when_unreachable():
+    assert max_edge_disjoint_minimal_paths(_disconnected_routed(), 3, 0) == 0
+    assert max_edge_disjoint_minimal_paths(_disconnected_routed(), 0, 1) >= 1

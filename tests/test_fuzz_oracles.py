@@ -1,0 +1,130 @@
+"""The metamorphic oracle stack: claims, implication checks, focusing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz.generators import CaseSpec, build_case, case_stream, stable_bits
+from repro.fuzz.oracles import (
+    Checker,
+    CheckerResult,
+    OracleStack,
+    REAL_STACK,
+    focus,
+    run_stack,
+)
+from repro.routing import make
+from repro.topology import build_mesh
+
+from tests.generative import SESSION_SEED
+
+MASTER = stable_bits(SESSION_SEED, "fuzz-oracle-tests")
+
+
+def _fake(name: str, *, free: bool = False, dead: bool = False,
+          crash: bool = False) -> Checker:
+    def run(_alg) -> CheckerResult:
+        if crash:
+            raise RuntimeError("checker exploded")
+        return CheckerResult(
+            checker=name, condition="fake", deadlock_free=free,
+            authoritative=True, claims_free=free, claims_deadlock=dead,
+        )
+    return Checker(name, run)
+
+
+def _dummy_algorithm():
+    return make("e-cube-mesh", build_mesh((2, 2), num_vcs=2))
+
+
+def test_free_vs_deadlock_cross_product():
+    stack = OracleStack("fake", (
+        _fake("a", free=True), _fake("b", free=True),
+        _fake("c", dead=True), _fake("d"),
+    ))
+    report = run_stack(_dummy_algorithm(), stack)
+    assert report.discrepancy_keys() == {
+        "free-vs-deadlock:a<>c",
+        "free-vs-deadlock:b<>c",
+    }
+    assert not report.clean
+
+
+def test_no_claims_means_clean():
+    stack = OracleStack("fake", (_fake("a"), _fake("b", dead=True)))
+    report = run_stack(_dummy_algorithm(), stack)
+    assert report.clean  # deadlock proof alone violates nothing
+
+
+def test_checker_crash_is_captured_not_raised():
+    stack = OracleStack("fake", (_fake("a", free=True), _fake("boom", crash=True)))
+    report = run_stack(_dummy_algorithm(), stack)
+    assert report.clean
+    errored = report.result("boom")
+    assert errored is not None and "checker exploded" in errored.error
+    assert not errored.claims_free and not errored.claims_deadlock
+
+
+def test_focus_keeps_only_named_checkers():
+    sub = focus(REAL_STACK, {"theorem", "sim"})
+    assert {c.name for c in sub.checkers} == {"theorem", "sim"}
+    assert sub.name == REAL_STACK.name
+    with pytest.raises(ValueError, match="no checker"):
+        focus(REAL_STACK, {"theorem", "nonexistent"})
+
+
+def test_real_stack_certifies_known_safe_algorithm():
+    report = run_stack(_dummy_algorithm(), REAL_STACK)
+    assert report.clean
+    theorem = report.result("theorem")
+    assert theorem.claims_free and theorem.authoritative
+    sim = report.result("sim")
+    assert not sim.claims_deadlock
+
+
+def test_dally_seitz_never_claims_deadlock_on_figure4():
+    """The paper's Figure 4 shape: cyclic CDG (no certificate) yet
+    deadlock-free -- the theorem certifies because every CWG cycle is a
+    False Resource Cycle.  A naive equality oracle would flag this as a
+    discrepancy; the implication rules must not."""
+    from repro.routing.ring_example import RingExample
+    from repro.topology.examples import build_figure4_ring
+
+    alg = RingExample(build_figure4_ring(5, extra_link=(3, 4)))
+    report = run_stack(alg, REAL_STACK)
+    ds = report.result("dally-seitz")
+    assert ds.deadlock_free is False and not ds.claims_deadlock
+    assert report.result("theorem").claims_free
+    assert report.clean
+
+
+@pytest.mark.slow
+def test_real_stack_clean_on_generated_stream():
+    """The production checkers never contradict each other on random cases."""
+    stream = case_stream(MASTER)
+    for _ in range(30):
+        spec = next(stream)
+        report = run_stack(build_case(spec), REAL_STACK)
+        assert report.clean, (
+            f"{spec.key()}: {sorted(report.discrepancy_keys())}"
+        )
+
+
+def test_theorem_enum_only_runs_for_specific_waiting():
+    wf = make("west-first", build_mesh((2, 2)))  # waits on ANY
+    report = run_stack(wf, REAL_STACK)
+    assert report.result("theorem-enum") is None
+
+    spec = CaseSpec("arbitrary", _find_specific_seed())
+    report = run_stack(build_case(spec), REAL_STACK)
+    assert report.result("theorem-enum") is not None
+
+
+def _find_specific_seed() -> int:
+    from repro.routing.relation import WaitPolicy
+
+    for i in range(64):
+        seed = stable_bits(MASTER, "specific", i)
+        if build_case(CaseSpec("arbitrary", seed)).wait_policy is WaitPolicy.SPECIFIC:
+            return seed
+    raise AssertionError("no SPECIFIC-policy arbitrary case in 64 tries")

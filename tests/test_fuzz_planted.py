@@ -1,0 +1,94 @@
+"""Planted-bug variants: proof the oracle stack has teeth.
+
+Each planted stack swaps one production checker for a deliberately broken
+variant; the fuzzer must catch the difference on real generated cases.
+The seeds pinned here were found by fixed-seed campaigns
+(``python -m repro fuzz --stack planted:cwg-immediate``) and are regression
+anchors: they stay valid regardless of the session seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.deps import ExtendedChannelDependencyGraph, escape_by_vc
+from repro.fuzz.generators import CaseSpec, build_case
+from repro.fuzz.oracles import REAL_STACK, run_stack
+from repro.fuzz.planted import (
+    ImmediateWaitCWG,
+    NoIndirectECDG,
+    PLANTED_VARIANTS,
+    planted_stack,
+)
+from repro.routing import make
+from repro.topology import build_mesh
+
+#: arbitrary-family cases where the immediate-wait CWG wrongly certifies
+#: freedom while the enumerated Theorem 2 proves deadlock
+CWG_IMMEDIATE_CATCHES = (3221492823, 2254118097, 1076053663)
+
+#: escape-wild case where the broken theorem certifies freedom and the
+#: adversarial simulator deadlocks
+CWG_IMMEDIATE_SIM_CATCH = 2852189723
+
+
+def _edge_pairs(graph) -> set[tuple[int, int]]:
+    return {(u, v) for u, v, _mask in graph.dep.iter_edges()}
+
+
+def test_planted_variants_registry():
+    assert set(PLANTED_VARIANTS) == {"cwg-immediate", "duato-no-indirect"}
+    with pytest.raises(ValueError, match="unknown planted variant"):
+        planted_stack("no-such-variant")
+
+
+@pytest.mark.parametrize("seed", CWG_IMMEDIATE_CATCHES)
+def test_cwg_immediate_caught_on_arbitrary_cases(seed):
+    alg = build_case(CaseSpec("arbitrary", seed))
+    broken = run_stack(alg, planted_stack("cwg-immediate"))
+    assert "free-vs-deadlock:theorem<>theorem-enum" in broken.discrepancy_keys()
+    # the production stack agrees with itself on the very same case
+    assert run_stack(alg, REAL_STACK).clean
+
+
+@pytest.mark.slow
+def test_cwg_immediate_caught_by_simulator_on_escape_wild():
+    alg = build_case(CaseSpec("escape-wild", CWG_IMMEDIATE_SIM_CATCH))
+    broken = run_stack(alg, planted_stack("cwg-immediate"))
+    assert "free-vs-deadlock:theorem<>sim" in broken.discrepancy_keys()
+    assert run_stack(alg, REAL_STACK).clean
+
+
+def test_immediate_wait_cwg_misses_downstream_edges():
+    """The broken CWG is a strict subgraph on a relation with downstream
+    waiting (the bug is observable in the graph itself)."""
+    alg = build_case(CaseSpec("escape-wild", CWG_IMMEDIATE_SIM_CATCH))
+    from repro.core import ChannelWaitingGraph
+
+    assert _edge_pairs(ImmediateWaitCWG(alg)) < _edge_pairs(ChannelWaitingGraph(alg))
+
+
+def test_no_indirect_ecdg_is_observably_weaker():
+    """Dropping INDIRECT dependency types must lose edges on an adaptive
+    algorithm with escape channels.
+
+    The variant is not generatively catchable through ``search_escape``
+    alone -- Duato's coherence gate rejects the nonminimal families that
+    exercise indirect dependencies -- so this pins the bug at the graph
+    level: the broken ECDG is a strict subgraph of the real one.
+    """
+    alg = make("duato-mesh", build_mesh((3, 3), num_vcs=2))
+    escape = escape_by_vc(alg)
+    real = ExtendedChannelDependencyGraph(alg, escape)
+    broken = NoIndirectECDG(alg, escape)
+    assert _edge_pairs(broken) < _edge_pairs(real)
+
+
+def test_no_indirect_ecdg_wrongly_acyclic_on_cyclic_real_graph():
+    """On the pinned escape-wild case the real ECDG is cyclic (no Duato
+    certificate) while the broken one is acyclic -- the exact shape that
+    would make a no-indirect Duato claim freedom for a deadlockable net."""
+    alg = build_case(CaseSpec("escape-wild", CWG_IMMEDIATE_SIM_CATCH))
+    escape = escape_by_vc(alg)
+    assert not ExtendedChannelDependencyGraph(alg, escape).dep.summary()["acyclic"]
+    assert NoIndirectECDG(alg, escape).dep.summary()["acyclic"]

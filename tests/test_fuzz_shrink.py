@@ -1,0 +1,93 @@
+"""The delta-debugging shrinker: machinery with cheap synthetic predicates,
+plus one real end-to-end shrink of a planted-bug discrepancy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz.generators import CaseSpec, build_case, stable_bits
+from repro.fuzz.oracles import REAL_STACK
+from repro.fuzz.planted import planted_stack
+from repro.fuzz.shrink import discrepancy_predicate, shrink
+from repro.fuzz.table import TableCase
+
+from tests.generative import SESSION_SEED
+
+MASTER = stable_bits(SESSION_SEED, "fuzz-shrink-tests")
+
+
+def _big_case() -> TableCase:
+    return TableCase.materialize(
+        build_case(CaseSpec("faulty-mesh", stable_bits(MASTER, "case")))
+    )
+
+
+def test_shrink_requires_firing_predicate():
+    with pytest.raises(ValueError, match="initial case"):
+        shrink(_big_case(), lambda case: False)
+
+
+def test_shrink_to_structural_floor():
+    """With a purely structural predicate the shrinker should reach its
+    exact floor: the smallest strongly connected case is a 2-cycle."""
+
+    def connected(case: TableCase) -> bool:
+        try:
+            case.build()
+        except Exception:
+            return False
+        return True
+
+    result = shrink(_big_case(), connected)
+    assert result.minimal
+    assert result.case.num_nodes == 2
+    assert len(result.case.channels) == 2
+    assert connected(result.case)
+
+
+def test_shrink_respects_budget():
+    calls = 0
+
+    def counting(case: TableCase) -> bool:
+        nonlocal calls
+        calls += 1
+        try:
+            case.build()
+        except Exception:
+            return False
+        return True
+
+    result = shrink(_big_case(), counting, max_evaluations=10)
+    assert not result.minimal
+    assert calls <= 10 and result.evaluations <= 10
+
+
+def test_predicate_needs_keys():
+    with pytest.raises(ValueError, match="at least one"):
+        discrepancy_predicate([])
+
+
+def test_predicate_rejects_unknown_checker():
+    with pytest.raises(ValueError, match="no checker"):
+        discrepancy_predicate(["free-vs-deadlock:nope<>sim"], REAL_STACK)
+
+
+#: a pinned arbitrary-family case the cwg-immediate planted stack catches
+CAUGHT_SEED = 3221492823
+CAUGHT_KEY = "free-vs-deadlock:theorem<>theorem-enum"
+
+
+def test_real_shrink_of_planted_discrepancy_reaches_small_reproducer():
+    """End-to-end: materialize the caught case, shrink while the planted
+    discrepancy persists, land at <= 8 channels (the acceptance floor)."""
+    stack = planted_stack("cwg-immediate")
+    case = TableCase.materialize(build_case(CaseSpec("arbitrary", CAUGHT_SEED)))
+    predicate = discrepancy_predicate([CAUGHT_KEY], stack)
+    assert predicate(case)
+    result = shrink(case, predicate)
+    assert result.minimal
+    assert len(result.case.channels) <= 8
+    assert predicate(result.case)
+    # 1-minimality: no single channel can be removed without losing the bug
+    for idx in range(len(result.case.channels)):
+        assert not predicate(result.case.remove_channel(idx))

@@ -1,0 +1,99 @@
+"""TableCase: materialization fidelity, edits, serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz.generators import CaseSpec, build_case, case_stream, stable_bits
+from repro.fuzz.table import TableCase
+from repro.verify.necsuf import verify
+
+from tests.generative import SESSION_SEED
+
+MASTER = stable_bits(SESSION_SEED, "fuzz-table-tests")
+
+
+def _some_case(family: str = "irregular", i: int = 0):
+    return build_case(CaseSpec(family, stable_bits(MASTER, family, i)))
+
+
+def test_round_trip_preserves_theorem_verdict():
+    """Materialize -> build must be verdict-preserving: that is what makes
+    shrinking on tables legal."""
+    stream = case_stream(MASTER, families=("irregular", "arbitrary", "faulty-mesh"))
+    for _ in range(9):
+        alg = build_case(next(stream))
+        rebuilt = TableCase.materialize(alg).build()
+        v0, v1 = verify(alg), verify(rebuilt)
+        assert v0.deadlock_free == v1.deadlock_free
+        assert v0.necessary_and_sufficient == v1.necessary_and_sufficient
+
+
+def test_json_round_trip_is_identity():
+    case = TableCase.materialize(_some_case())
+    again = TableCase.from_json(case.to_json())
+    assert again == case
+
+
+def test_remove_channel_remaps_indices():
+    case = TableCase.materialize(_some_case("arbitrary"))
+    idx = len(case.channels) - 2
+    smaller = case.remove_channel(idx)
+    assert len(smaller.channels) == len(case.channels) - 1
+    top = len(smaller.channels)
+    for key, chans in smaller.routes.items():
+        assert all(0 <= c < top for c in chans)
+        waits = smaller.waits[key]
+        assert waits and set(waits) <= set(chans)
+
+
+def test_remove_node_drops_everything_touching_it():
+    case = TableCase.materialize(_some_case("irregular", 2))
+    node = case.num_nodes - 1
+    smaller = case.remove_node(node)
+    assert smaller.num_nodes == case.num_nodes - 1
+    for src, dst, _vc in smaller.channels:
+        assert src < smaller.num_nodes and dst < smaller.num_nodes
+    for key in smaller.routes:
+        head, _, dest = key.partition("->")
+        assert int(dest) < smaller.num_nodes
+        if head[0] != "c":
+            assert int(head[1:]) < smaller.num_nodes
+
+
+def test_drop_and_thin_entries():
+    case = TableCase.materialize(_some_case("arbitrary", 1))
+    key = sorted(case.routes)[0]
+    dropped = case.drop_entry(key)
+    assert key not in dropped.routes and key not in dropped.waits
+
+    fat = next((k for k in sorted(case.routes) if len(case.routes[k]) > 1), None)
+    if fat is not None:
+        victim = case.routes[fat][0]
+        thinned = case.thin_entry(fat, victim)
+        assert victim not in thinned.routes[fat]
+        assert thinned.waits[fat] and set(thinned.waits[fat]) <= set(thinned.routes[fat])
+
+
+def test_build_rejects_disconnected_channel_list():
+    from repro.topology.network import NetworkError
+
+    case = TableCase(
+        name="bad", num_nodes=3,
+        channels=[(0, 1, 0), (1, 2, 0)],  # no path back to 0
+        nd=True, wait_policy="any",
+        routes={"n0->1": [0]}, waits={},
+    )
+    with pytest.raises(NetworkError):
+        case.build()
+
+
+def test_table_routing_missing_key_is_empty_set():
+    case = TableCase.materialize(_some_case())
+    alg = case.drop_entry(sorted(case.routes)[0]).build()
+    net = alg.network
+    # every query still answers (possibly with the empty set), never raises
+    for node in net.nodes:
+        for dest in net.nodes:
+            if node != dest:
+                alg.route(net.injection_channel(node), node, dest)

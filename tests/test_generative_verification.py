@@ -95,6 +95,7 @@ def test_duato_by_construction_always_certified(seed):
     assert verdict.deadlock_free, f"seed {seed}: {verdict.summary()}"
 
 
+@pytest.mark.slow
 @settings(max_examples=6, deadline=None)
 @given(seed=st.integers(min_value=0, max_value=10_000))
 def test_random_waiting_verdicts_consistent_with_simulation(seed):

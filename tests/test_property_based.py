@@ -23,6 +23,7 @@ failing example is reproducible by re-running the same test.
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -42,6 +43,7 @@ from tests.generative import (
 seeds = st.integers(min_value=0, max_value=2**16)
 
 
+@pytest.mark.slow
 @settings(max_examples=50)
 @given(routed_networks(wait_policy=WaitPolicy.ANY))
 def test_theorem3_free_implies_no_single_wait_true_cycle(pair):
