@@ -4,6 +4,8 @@ Subcommands
 -----------
 ``verify``        run the deadlock-freedom verifiers on a cataloged algorithm;
 ``verify-batch``  sweep many algorithms concurrently through the cached pipeline;
+``lint``          static-analyze routing relations: rule pack, triage screens,
+                  text/JSON/SARIF output with baseline suppression;
 ``catalog``       list the routing algorithms and their certified properties;
 ``dot``           emit the CWG or CDG of an algorithm as Graphviz DOT;
 ``graph-stats``   print the kernel summary (SCCs, acyclicity, fingerprint)
@@ -18,6 +20,7 @@ Examples::
     python -m repro catalog
     python -m repro verify --algorithm highest-positive-last --topology mesh --dims 4,4
     python -m repro verify-batch --jobs 4 --cache-dir .repro-cache --format json
+    python -m repro lint --format sarif --baseline lint-baseline.json --output lint.sarif
     python -m repro dot --algorithm incoherent-example --topology figure1 --graph cwg
     python -m repro simulate --algorithm e-cube-mesh --topology mesh --dims 8,8 \
         --rate 0.2 --cycles 3000
@@ -112,6 +115,7 @@ def cmd_verify_batch(args) -> int:
         torus_dims=_parse_dims(args.torus_dims, "--torus-dims"),
         hypercube_dim=args.hypercube_dim,
         conditions=conditions,
+        triage=not args.no_triage,
     )
     verifier = BatchVerifier(
         workers=args.jobs,
@@ -130,6 +134,125 @@ def cmd_verify_batch(args) -> int:
     else:
         print(rendered)
     return 1 if report.errors else 0
+
+
+def _lint_split(text: str | None) -> list[str]:
+    return [t.strip() for t in (text or "").split(",") if t.strip()]
+
+
+def _lint_case_target(path, config, dims_args):
+    """Analyze one case file (a fuzz TableCase or a corpus entry)."""
+    import json
+    from pathlib import Path
+
+    from .analyze import TargetReport, analyze
+
+    p = Path(path)
+    name = p.stem
+    try:
+        doc = json.loads(p.read_text())
+        if "table" in doc and "format" in doc:  # a shrunk corpus reproducer
+            from .fuzz.corpus import CorpusEntry
+
+            case = CorpusEntry.from_json(doc).table
+        else:  # a bare TableCase
+            from .fuzz.table import TableCase
+
+            case = TableCase.from_json(doc)
+        ra = case.build()
+    except Exception as exc:
+        return TargetReport(target=name, network="?", wait_policy="?",
+                            error=f"{type(exc).__name__}: {exc}")
+    return analyze(ra, config=config, target=name)
+
+
+def cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from .analyze import (
+        RENDERERS,
+        AnalysisReport,
+        RuleConfig,
+        Severity,
+        analyze,
+        apply_baseline,
+        load_baseline,
+        write_baseline,
+    )
+    from .pipeline import build_topology
+
+    try:
+        config = RuleConfig.from_tokens(
+            disable=_lint_split(args.disable), select=_lint_split(args.select)
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+
+    report = AnalysisReport()
+    if args.case:
+        for path in args.case:
+            report.add(_lint_case_target(path, config, args))
+    elif args.corpus:
+        files = sorted(Path(args.corpus).glob("*.json"))
+        if not files:
+            raise SystemExit(f"no .json case files under {args.corpus}")
+        for path in files:
+            report.add(_lint_case_target(path, config, args))
+    else:
+        names = _lint_split(args.algorithms) or sorted(CATALOG)
+        if args.algorithms in (None, "", "all"):
+            names = sorted(CATALOG)
+        unknown = [n for n in names if n not in CATALOG]
+        if unknown:
+            raise SystemExit(f"unknown algorithms {unknown}; see `python -m repro catalog`")
+        dims_for = {
+            "mesh": _parse_dims(args.mesh_dims, "--mesh-dims"),
+            "torus": _parse_dims(args.torus_dims, "--torus-dims"),
+            "hypercube": (args.hypercube_dim,),
+            "figure1": None,
+            "figure4": None,
+        }
+        from .analyze import TargetReport
+
+        for name in names:
+            entry = CATALOG[name]
+            try:
+                net = build_topology(entry.topology, dims_for[entry.topology],
+                                     entry.min_vcs)
+                ra = make(name, net)
+            except Exception as exc:
+                report.add(TargetReport(target=name, network="?", wait_policy="?",
+                                        error=f"{type(exc).__name__}: {exc}"))
+                continue
+            report.add(analyze(ra, config=config, target=name))
+    report.finalize()
+
+    if args.write_baseline:
+        n = write_baseline(report, Path(args.write_baseline))
+        print(f"wrote {n} suppressions to {args.write_baseline}")
+        return 0
+    if args.baseline:
+        try:
+            suppressions = load_baseline(Path(args.baseline))
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot load baseline: {exc}") from None
+        apply_baseline(report, suppressions)
+
+    rendered = RENDERERS[args.format](report)
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(rendered)
+        print(f"wrote {args.format} report for {len(report.targets)} targets to {args.output}")
+    else:
+        print(rendered, end="")
+
+    if any(t.error for t in report.targets):
+        return 2
+    if args.fail_on == "never":
+        return 0
+    threshold = Severity.parse(args.fail_on)
+    worst = report.max_severity
+    return 1 if worst is not None and worst >= threshold else 0
 
 
 def cmd_dot(args) -> int:
@@ -358,8 +481,38 @@ def main(argv: list[str] | None = None) -> int:
     pb.add_argument("--cache-dir", default=None,
                     help="shared on-disk cache directory (warm re-runs are near-free)")
     pb.add_argument("--no-cache", action="store_true", help="disable all caching")
+    pb.add_argument("--no-triage", action="store_true",
+                    help="skip the static triage screens; always run the full theorem check")
     pb.add_argument("--format", default="table", choices=["table", "json", "csv"])
     pb.add_argument("--output", default=None, help="write the report to a file")
+
+    pl = sub.add_parser(
+        "lint",
+        help="static-analyze routing relations (rule pack + triage screens)",
+    )
+    pl.add_argument("--algorithms", default="all",
+                    help="comma-separated catalog names (default: the whole catalog)")
+    pl.add_argument("--case", action="append", default=None, metavar="FILE",
+                    help="analyze a fuzz TableCase / corpus-entry JSON file (repeatable)")
+    pl.add_argument("--corpus", default=None, metavar="DIR",
+                    help="analyze every .json case under a corpus directory")
+    pl.add_argument("--mesh-dims", default="4,4", help="dims for mesh algorithms")
+    pl.add_argument("--torus-dims", default="4,4", help="dims for torus algorithms")
+    pl.add_argument("--hypercube-dim", type=int, default=3,
+                    help="dimension for hypercube algorithms")
+    pl.add_argument("--format", default="text", choices=["text", "json", "sarif"])
+    pl.add_argument("--output", default=None, help="write the report to a file")
+    pl.add_argument("--baseline", default=None, metavar="FILE",
+                    help="suppress diagnostics whose fingerprints are in this baseline")
+    pl.add_argument("--write-baseline", default=None, metavar="FILE",
+                    help="write a baseline accepting every current finding, then exit")
+    pl.add_argument("--disable", default=None,
+                    help="comma-separated rule ids/names to disable")
+    pl.add_argument("--select", default=None,
+                    help="comma-separated rule ids/names to run exclusively")
+    pl.add_argument("--fail-on", default="error",
+                    choices=["error", "warning", "info", "never"],
+                    help="lowest severity that fails the run (default: error)")
 
     pd = sub.add_parser("dot", help="emit a channel graph as Graphviz DOT")
     common(pd)
@@ -445,6 +598,7 @@ def main(argv: list[str] | None = None) -> int:
         "catalog": cmd_catalog,
         "verify": cmd_verify,
         "verify-batch": cmd_verify_batch,
+        "lint": cmd_lint,
         "dot": cmd_dot,
         "graph-stats": cmd_graph_stats,
         "simulate": cmd_simulate,

@@ -1,0 +1,61 @@
+"""Static analysis for (network, routing relation) pairs.
+
+``repro.analyze`` diagnoses routing relations *without* running the cycle
+search: precondition rules (wait-connectivity, coherence, deliverability),
+hygiene rules (dead channels, unreachable table entries, asymmetric links,
+self-waits), and theorem-aware triage screens that decide many instances
+outright -- ``definitely-free`` via a Dally--Seitz ordering certificate or
+sink-channel elimination, ``definitely-deadlocking`` via wait-connectivity
+failure or a forced cycle on the SCC condensation -- falling back to
+``needs-full-check`` for the theorem checker.
+
+Entry points: :func:`analyze` per target, ``python -m repro lint`` for the
+catalog / case files / corpus directories, and :func:`triage` for the
+pipeline pre-filter and the fuzz oracle.
+"""
+
+from .analyzer import AnalysisReport, TargetReport, analyze
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .diagnostics import Diagnostic, Location, Severity, sort_diagnostics
+from .render import RENDERERS, render_json, render_sarif, render_text, sarif_payload
+from .rules import REGISTRY, AnalysisContext, Rule, RuleConfig, all_rules, run_rules
+from .screens import (
+    DEFINITELY_DEADLOCKING,
+    DEFINITELY_FREE,
+    NEEDS_FULL_CHECK,
+    ScreenResult,
+    TriageResult,
+    triage,
+    triage_verdict,
+)
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisReport",
+    "DEFINITELY_DEADLOCKING",
+    "DEFINITELY_FREE",
+    "Diagnostic",
+    "Location",
+    "NEEDS_FULL_CHECK",
+    "REGISTRY",
+    "RENDERERS",
+    "Rule",
+    "RuleConfig",
+    "ScreenResult",
+    "Severity",
+    "TargetReport",
+    "TriageResult",
+    "all_rules",
+    "analyze",
+    "apply_baseline",
+    "load_baseline",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "run_rules",
+    "sarif_payload",
+    "sort_diagnostics",
+    "triage",
+    "triage_verdict",
+    "write_baseline",
+]

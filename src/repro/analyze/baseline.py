@@ -1,0 +1,65 @@
+"""Baseline suppression: accept today's findings, fail only on new ones.
+
+A baseline is a committed JSON file mapping diagnostic fingerprints (see
+:meth:`~repro.analyze.diagnostics.Diagnostic.fingerprint` -- target + rule
++ location, message excluded) to a human-readable summary.  ``python -m
+repro lint --baseline FILE`` drops any finding whose fingerprint is in the
+file, so CI can enforce "zero diagnostics outside the baseline" while the
+catalog legitimately trips e.g. the asymmetric-link rule on the paper's
+unidirectional rings.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .analyzer import AnalysisReport
+
+FORMAT = 1
+
+
+def load_baseline(path: Path) -> dict[str, str]:
+    """Read ``{fingerprint: summary}`` suppressions from ``path``."""
+    doc = json.loads(path.read_text())
+    if doc.get("format") != FORMAT:
+        raise ValueError(
+            f"{path}: unsupported baseline format {doc.get('format')!r} "
+            f"(expected {FORMAT})"
+        )
+    sup = doc.get("suppressions", {})
+    if not isinstance(sup, dict):
+        raise ValueError(f"{path}: 'suppressions' must be an object")
+    return {str(k): str(v) for k, v in sup.items()}
+
+
+def baseline_payload(report: AnalysisReport) -> dict[str, Any]:
+    """Build a baseline document suppressing every current finding."""
+    suppressions = {
+        d.fingerprint(): f"{d.target}: {d.rule} at {d.location.describe()}"
+        for t in report.targets
+        for d in t.diagnostics
+    }
+    return {
+        "format": FORMAT,
+        "suppressions": dict(sorted(suppressions.items())),
+    }
+
+
+def write_baseline(report: AnalysisReport, path: Path) -> int:
+    """Write a baseline for ``report``; returns the suppression count."""
+    payload = baseline_payload(report)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return len(payload["suppressions"])
+
+
+def apply_baseline(report: AnalysisReport, suppressions: dict[str, str]) -> AnalysisReport:
+    """Drop suppressed diagnostics in place; records per-target counts."""
+    for t in report.targets:
+        kept = [d for d in t.diagnostics if d.fingerprint() not in suppressions]
+        dropped = len(t.diagnostics) - len(kept)
+        if dropped:
+            report.suppressed[t.target] = report.suppressed.get(t.target, 0) + dropped
+        t.diagnostics = kept
+    return report

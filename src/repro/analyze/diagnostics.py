@@ -1,0 +1,163 @@
+"""The diagnostic framework: severities, locations, and findings.
+
+A :class:`Diagnostic` is one finding of one rule on one analysis target --
+the static-analysis twin of :class:`repro.verify.report.Verdict`.  Where a
+verdict answers "is this relation deadlock-free", a diagnostic answers
+"what, precisely, is questionable about it", anchored to the graph object
+the rule inspected: a channel, a node, an ordered node pair, a routing
+state, or the relation as a whole.
+
+Everything here is deterministic by construction: locations carry sorted
+channel/node id tuples, diagnostics order under :meth:`Diagnostic.sort_key`
+(severity first, then rule, then location), and the baseline identity
+(:meth:`Diagnostic.fingerprint`) hashes only the stable anchor -- target,
+rule, and location -- so rewording a message never invalidates a committed
+suppression.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; the integer order is the sort order."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+    @property
+    def sarif_level(self) -> str:
+        """The SARIF 2.1.0 ``level`` for this severity."""
+        return {"info": "note", "warning": "warning", "error": "error"}[self.label]
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}; have {[s.label for s in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where a finding is anchored: channels, nodes, a pair, or the relation.
+
+    ``kind`` names the anchor flavor (``relation``, ``channel``, ``node``,
+    ``pair``, ``state``, ``cycle``); ``channels`` and ``nodes`` carry the
+    anchoring ids.  Tuples are stored sorted unless the order is the
+    payload (``pair`` keeps (src, dest) order, ``cycle`` keeps walk order).
+    """
+
+    kind: str = "relation"
+    channels: tuple[int, ...] = ()
+    nodes: tuple[int, ...] = ()
+
+    _ORDERED_KINDS = ("pair", "cycle", "state")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._ORDERED_KINDS:
+            object.__setattr__(self, "channels", tuple(sorted(self.channels)))
+            object.__setattr__(self, "nodes", tuple(sorted(self.nodes)))
+
+    def sort_key(self) -> tuple[str, tuple[int, ...], tuple[int, ...]]:
+        return (self.kind, self.channels, self.nodes)
+
+    def describe(self) -> str:
+        """Short human rendering, e.g. ``channel c5`` or ``pair 0->3``."""
+        if self.kind == "relation":
+            return "relation"
+        if self.kind == "pair" and len(self.nodes) == 2:
+            return f"pair {self.nodes[0]}->{self.nodes[1]}"
+        if self.kind == "cycle":
+            return "cycle " + "->".join(f"c{c}" for c in self.channels)
+        parts = []
+        if self.channels:
+            parts.append(", ".join(f"c{c}" for c in self.channels))
+        if self.nodes:
+            parts.append("node" + ("s" if len(self.nodes) > 1 else "")
+                         + " " + ", ".join(map(str, self.nodes)))
+        return f"{self.kind} " + "; ".join(parts) if parts else self.kind
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "channels": list(self.channels),
+            "nodes": list(self.nodes),
+        }
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: rule id, severity, message, location, witness, fix."""
+
+    rule: str
+    severity: Severity
+    message: str
+    location: Location = field(default_factory=Location)
+    #: deterministic human-readable witness lines (edges, dests, residues)
+    witness: tuple[str, ...] = ()
+    #: actionable suggestion, phrased against the paper's conditions
+    suggestion: str = ""
+    #: the analysis target (catalog name or case file) that produced it
+    target: str = ""
+
+    def sort_key(self) -> tuple[Any, ...]:
+        return (
+            self.target,
+            -int(self.severity),
+            self.rule,
+            self.location.sort_key(),
+            self.message,
+        )
+
+    def fingerprint(self) -> str:
+        """Stable baseline identity: target + rule + location only."""
+        blob = "\x1f".join((
+            self.target,
+            self.rule,
+            self.location.kind,
+            ",".join(map(str, self.location.channels)),
+            ",".join(map(str, self.location.nodes)),
+        ))
+        return hashlib.blake2b(blob.encode(), digest_size=8).hexdigest()
+
+    def with_severity(self, severity: Severity) -> "Diagnostic":
+        return replace(self, severity=severity)
+
+    def with_target(self, target: str) -> "Diagnostic":
+        return replace(self, target=target)
+
+    def render(self) -> str:
+        """One text-report line (without the witness block)."""
+        return (
+            f"{self.severity.label:<7} {self.rule:<6} "
+            f"{self.location.describe()}: {self.message}"
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.label,
+            "message": self.message,
+            "location": self.location.to_json(),
+            "witness": list(self.witness),
+            "suggestion": self.suggestion,
+            "target": self.target,
+            "fingerprint": self.fingerprint(),
+        }
+
+
+def sort_diagnostics(diagnostics: list[Diagnostic]) -> list[Diagnostic]:
+    """The one canonical diagnostic order every renderer and baseline uses."""
+    return sorted(diagnostics, key=lambda d: d.sort_key())

@@ -1,0 +1,183 @@
+"""Renderers: text for humans, JSON for scripts, SARIF 2.1.0 for CI.
+
+All three are deterministic: they consume the canonical diagnostic order
+(:func:`~repro.analyze.diagnostics.sort_diagnostics`), sort targets by
+name, and serialize JSON with sorted keys -- two runs over the same inputs
+produce byte-identical output, which the determinism tests pin.
+
+The SARIF renderer anchors findings with *logical* locations (channels,
+nodes, pairs of the analyzed graph -- there are no source files to point
+at) and carries the baseline fingerprint in ``partialFingerprints`` so
+GitHub code scanning deduplicates results the same way our own baseline
+does.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .analyzer import AnalysisReport, TargetReport
+from .diagnostics import Diagnostic, Severity
+from .rules import all_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://json.schemastore.org/sarif-2.1.0.json"
+)
+TOOL_NAME = "repro-lint"
+
+
+# ----------------------------------------------------------------------
+# text
+# ----------------------------------------------------------------------
+def _render_target_text(t: TargetReport, lines: list[str]) -> None:
+    triage = t.triage.summary() if t.triage else "triage unavailable"
+    lines.append(f"{t.target} ({t.network}, wait-on-{t.wait_policy}): {triage}")
+    if t.error:
+        lines.append(f"  ANALYSIS FAILED: {t.error}")
+    for d in t.diagnostics:
+        lines.append("  " + d.render())
+        for w in d.witness:
+            lines.append(f"      witness: {w}")
+        if d.suggestion:
+            lines.append(f"      fix: {d.suggestion}")
+
+
+def render_text(report: AnalysisReport) -> str:
+    """Human-readable report, one block per target."""
+    lines: list[str] = []
+    for t in report.targets:
+        _render_target_text(t, lines)
+    total_suppressed = sum(report.suppressed.values())
+    counts = ", ".join(
+        f"{report.count(s)} {s.label}"
+        for s in (Severity.ERROR, Severity.WARNING, Severity.INFO)
+    )
+    lines.append("")
+    lines.append(
+        f"{len(report.targets)} targets analyzed: {counts}"
+        + (f", {total_suppressed} baseline-suppressed" if total_suppressed else "")
+    )
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# json
+# ----------------------------------------------------------------------
+def render_json(report: AnalysisReport) -> str:
+    return json.dumps(report.to_json(), indent=2, sort_keys=True) + "\n"
+
+
+# ----------------------------------------------------------------------
+# SARIF 2.1.0
+# ----------------------------------------------------------------------
+def _sarif_rules() -> list[dict[str, Any]]:
+    return [
+        {
+            "id": r.id,
+            "name": r.name,
+            "shortDescription": {"text": r.summary},
+            "fullDescription": {"text": r.help_text()},
+            "defaultConfiguration": {"level": r.severity.sarif_level},
+            "properties": {"paperClause": r.clause},
+        }
+        for r in all_rules()
+    ]
+
+
+def _sarif_logical_locations(d: Diagnostic) -> list[dict[str, Any]]:
+    loc = d.location
+    out: list[dict[str, Any]] = [
+        {
+            "name": loc.describe(),
+            "kind": loc.kind,
+            "fullyQualifiedName": f"{d.target}::{loc.describe()}",
+        }
+    ]
+    return out
+
+
+def _sarif_result(d: Diagnostic, rule_index: dict[str, int]) -> dict[str, Any]:
+    message = d.message
+    if d.witness:
+        message += "\nwitness:\n" + "\n".join(f"  {w}" for w in d.witness)
+    if d.suggestion:
+        message += f"\nsuggested fix: {d.suggestion}"
+    return {
+        "ruleId": d.rule,
+        "ruleIndex": rule_index[d.rule],
+        "level": d.severity.sarif_level,
+        "message": {"text": message},
+        "locations": [
+            {"logicalLocations": _sarif_logical_locations(d)}
+        ],
+        "partialFingerprints": {"reproDiagnostic/v1": d.fingerprint()},
+        "properties": {
+            "target": d.target,
+            "channels": list(d.location.channels),
+            "nodes": list(d.location.nodes),
+        },
+    }
+
+
+def sarif_payload(report: AnalysisReport) -> dict[str, Any]:
+    """The SARIF 2.1.0 document as a JSON-safe dict."""
+    rules = _sarif_rules()
+    rule_index = {r["id"]: i for i, r in enumerate(rules)}
+    results = [
+        _sarif_result(d, rule_index)
+        for t in report.targets
+        for d in t.diagnostics
+    ]
+    invocation: dict[str, Any] = {
+        "executionSuccessful": not any(t.error for t in report.targets),
+    }
+    failures = [
+        {
+            "level": "error",
+            "message": {"text": f"analysis of {t.target} failed: {t.error}"},
+        }
+        for t in report.targets
+        if t.error
+    ]
+    if failures:
+        invocation["toolExecutionNotifications"] = failures
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": (
+                            "https://github.com/paper-repro/wormhole-necsuf"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "invocations": [invocation],
+                "results": results,
+                "properties": {
+                    "targets": [t.target for t in report.targets],
+                    "triage": {
+                        t.target: (t.triage.verdict if t.triage else "unavailable")
+                        for t in report.targets
+                    },
+                    "suppressedByBaseline": sum(report.suppressed.values()),
+                },
+            }
+        ],
+    }
+
+
+def render_sarif(report: AnalysisReport) -> str:
+    return json.dumps(sarif_payload(report), indent=2, sort_keys=True) + "\n"
+
+
+RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+}

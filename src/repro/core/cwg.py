@@ -23,6 +23,7 @@ kernel and materialize lazily.
 from __future__ import annotations
 
 from collections.abc import Iterable
+from typing import Any
 
 import networkx as nx
 
@@ -64,7 +65,7 @@ class ChannelWaitingGraph:
     # ------------------------------------------------------------------
     # content-addressed cache hooks (repro.pipeline)
     # ------------------------------------------------------------------
-    def cache_payload(self) -> list[list]:
+    def cache_payload(self) -> list[list[Any]]:
         """JSON-safe edge list ``[[src_cid, dst_cid, [dests...]], ...]``."""
         return [[u, v, list(bits(m))] for u, v, m in self.dep.iter_edges()]
 
@@ -72,10 +73,10 @@ class ChannelWaitingGraph:
     def from_cached_edges(
         cls,
         algorithm: RoutingAlgorithm,
-        payload: list[list],
+        payload: list[list[Any]],
         *,
         transitions: TransitionCache | None = None,
-    ) -> "ChannelWaitingGraph":
+    ) -> ChannelWaitingGraph:
         """Rebuild a graph from :meth:`cache_payload` output without rerunning
         the per-destination waiting-set propagation.  The payload must have
         been produced for an identical ``(network, relation)`` pair -- the
@@ -135,7 +136,9 @@ class ChannelWaitingGraph:
         )
 
 
-def wait_connected(algorithm: RoutingAlgorithm, *, transitions: TransitionCache | None = None):
+def wait_connected(
+    algorithm: RoutingAlgorithm, *, transitions: TransitionCache | None = None
+) -> tuple[bool, str]:
     """Definition 10: every reachable routing state has a waiting channel.
 
     Returns ``(holds, counterexample_description)``.  A state is a pair

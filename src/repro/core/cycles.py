@@ -20,8 +20,9 @@ worst-case exponential cycle count the paper warns about.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator
 from dataclasses import dataclass
+from typing import Any, Union
 
 import networkx as nx
 
@@ -29,7 +30,7 @@ from ..topology.channel import Channel
 from .depgraph import DepGraph, find_cycle_adj, iter_cycles_adj, tarjan_scc
 
 #: graphs the cycle routines operate on
-GraphLike = "nx.DiGraph | DepGraph"
+GraphLike = Union["nx.DiGraph", DepGraph]
 
 
 class CycleExplosion(RuntimeError):
@@ -47,7 +48,7 @@ class Cycle:
     channels: tuple[Channel, ...]
 
     @staticmethod
-    def from_nodes(nodes: Iterable[Channel]) -> "Cycle":
+    def from_nodes(nodes: Iterable[Channel]) -> Cycle:
         seq = tuple(nodes)
         if not seq:
             raise ValueError("empty cycle")
@@ -67,7 +68,7 @@ class Cycle:
         return f"<Cycle {names} -> ...>"
 
 
-def _localize(graph: nx.DiGraph) -> tuple[list, dict[int, list[int]]]:
+def _localize(graph: nx.DiGraph) -> tuple[list[Any], dict[int, list[int]]]:
     """Index an nx graph's nodes as dense local ints: ``(nodes, adjacency)``.
 
     Nodes are ordered by ``cid`` when they carry one (channels always do),
@@ -87,7 +88,7 @@ def _localize(graph: nx.DiGraph) -> tuple[list, dict[int, list[int]]]:
     return nodes, adj
 
 
-def iter_simple_cycles(graph, *, limit: int | None = 100_000) -> Iterator[Cycle]:
+def iter_simple_cycles(graph: GraphLike, *, limit: int | None = 100_000) -> Iterator[Cycle]:
     """Yield every simple cycle of ``graph`` as a canonical :class:`Cycle`.
 
     ``graph`` may be an ``nx.DiGraph`` over channels or a ``DepGraph``.
@@ -99,6 +100,8 @@ def iter_simple_cycles(graph, *, limit: int | None = 100_000) -> Iterator[Cycle]
     of any cyclic graph while completing silently on an acyclic one, and
     ``limit=None`` disables the guard entirely.
     """
+    nodeof: Callable[[int], Channel]
+    raw: Iterator[list[int]]
     if isinstance(graph, DepGraph):
         nodeof = graph.network.channel
         raw = graph.iter_cycle_cids()
@@ -114,7 +117,7 @@ def iter_simple_cycles(graph, *, limit: int | None = 100_000) -> Iterator[Cycle]
         count += 1
 
 
-def find_cycles(graph, *, limit: int | None = 100_000) -> list[Cycle]:
+def find_cycles(graph: GraphLike, *, limit: int | None = 100_000) -> list[Cycle]:
     """All simple cycles, sorted shortest-first then by channel ids.
 
     Same ``limit`` contract as :func:`iter_simple_cycles`: raises
@@ -125,7 +128,7 @@ def find_cycles(graph, *, limit: int | None = 100_000) -> list[Cycle]:
     return cycles
 
 
-def has_cycle(graph) -> bool:
+def has_cycle(graph: GraphLike) -> bool:
     """Fast acyclicity test (SCC decomposition, no enumeration)."""
     if isinstance(graph, DepGraph):
         return not graph.is_acyclic()
@@ -143,7 +146,7 @@ def has_cycle(graph) -> bool:
     return ncomp != n
 
 
-def find_one_cycle(graph) -> Cycle | None:
+def find_one_cycle(graph: GraphLike) -> Cycle | None:
     """A single witness cycle, or ``None`` if the graph is acyclic.
 
     SCC-first: on an acyclic graph this is one Tarjan pass, and on a cyclic

@@ -73,15 +73,27 @@ class TrueCycleSearch:
         max_nodes: int = 2_000_000,
         max_segment_len: int | None = None,
         single_wait_only: bool = False,
+        any_wait_blocked: bool = False,
     ) -> None:
         """``single_wait_only``: only accept witness segments whose final
         routing state has exactly one waiting channel.  A True Cycle built
         from such segments deadlocks even under wait-on-ANY semantics (each
         blocked message's *entire* waiting set is held), and no CWG'
         reduction can remove its edges -- the sound fast path Theorem 3's
-        necessity check uses before attempting the full Section 8 search."""
+        necessity check uses before attempting the full Section 8 search.
+
+        ``any_wait_blocked``: the general form of the same idea -- accept a
+        closed chain only if each segment's *entire* waiting set at its
+        blocking state is contained in the union of channels the chain
+        holds (self-held channels count: a message never releases a channel
+        it occupies while blocked).  Such a configuration is a Definition 12
+        deadlock under wait-on-ANY semantics, so a hit is an authoritative
+        deadlock verdict even for adaptive any-waiting algorithms; messages
+        may span several cycle channels, which ``single_wait_only`` cannot
+        express."""
         self.cwg = cwg
         self.single_wait_only = single_wait_only
+        self.any_wait_blocked = any_wait_blocked
         self.classifier = CycleClassifier(cwg, max_segment_len=max_segment_len or 10**9)
         n_link = len(cwg.algorithm.network.link_channels)
         self.max_segment_len = max_segment_len if max_segment_len is not None else n_link
@@ -220,16 +232,27 @@ class TrueCycleSearch:
         """
         cycle = Cycle.from_nodes([s.path[0] for s in chain])
         witness: list[Segment] = []
-        all_held = frozenset().union(*(s.held for s in chain))
+        all_held: frozenset[Channel] = frozenset().union(*(s.held for s in chain))
         for seg in chain:
             others = all_held - seg.held
             chosen: Segment | None = None
+            blockable = not self.any_wait_blocked
             for dest in self._alt_dests.get((seg.path, seg.waits_on), [seg.dest]):
+                if self.any_wait_blocked:
+                    waits = self.cwg.transitions[dest].wait.get(seg.path[-1], ())
+                    if not frozenset(waits) <= all_held:
+                        continue  # an escape wait exists: not ANY-wait-blocked
+                    blockable = True
                 cand = Segment(dest, seg.path, seg.waits_on)
                 if self.classifier._startable_at_source(cand) or \
                         self.classifier._prepath_avoiding(cand, others):
                     chosen = cand
                     break
+            if not blockable:
+                # No destination makes this message fully blocked: the chain
+                # is not an any-wait deadlock candidate at all, so it is
+                # discarded without counting as UNDETERMINED.
+                return False
             if chosen is None:
                 outcome.undetermined.append(Classification(
                     cycle, CycleClass.UNDETERMINED, witness=list(chain),
@@ -241,4 +264,174 @@ class TrueCycleSearch:
                 return False
             witness.append(chosen)
         outcome.true_cycle = Classification(cycle, CycleClass.TRUE, witness=witness)
+        return True
+
+
+@dataclass
+class ConfigOutcome:
+    """Result of the exhaustive any-wait deadlock-configuration search."""
+
+    #: a Definition 12 configuration for wait-on-any semantics, if found
+    deadlock: list[Segment] | None = None
+    #: closed configurations whose reachability could not be resolved
+    undetermined: list[list[Segment]] = field(default_factory=list)
+    #: search completed within budget; then a None deadlock (with no
+    #: undetermined configurations) proves deadlock freedom
+    exhaustive: bool = True
+    nodes_explored: int = 0
+
+    @property
+    def proves_deadlock_free(self) -> bool:
+        return self.deadlock is None and not self.undetermined and self.exhaustive
+
+
+class AnyWaitConfigSearch:
+    """Exhaustive search for wait-on-any deadlock *configurations*.
+
+    Under wait-on-any semantics a blocked message is stuck only when its
+    **entire** waiting set is occupied, so a Definition 12 deadlock is a set
+    of messages -- pairwise channel-disjoint, each reachable -- whose held
+    channels jointly cover every member's full waiting set.  Such a set need
+    not be a single cycle: a message's waits may be pinned by several
+    different members (a braid), which cycle-based searches cannot express,
+    and conversely a configuration may be absent even though every per-state
+    *specific* narrowing of the waiting discipline deadlocks (the paper's
+    incoherent example: no reachable state holds both waiting channels of
+    the critical state at once).  This search decides the question exactly,
+    up to the Section 7.2 reachability check: closed configurations that
+    fail it are reported ``undetermined`` rather than dropped, so
+    ``proves_deadlock_free`` never lies.
+
+    The worklist DFS grows a candidate set one member per uncovered waiting
+    channel.  Members are normalized to start at their first channel that
+    some member waits on (dropping an acquisition prefix keeps a
+    configuration valid), so candidate segments head at waited-on channels
+    and the member covering an uncovered wait may carry it anywhere along
+    its path.  Configurations are canonicalized by their minimum head.
+    """
+
+    def __init__(
+        self,
+        cwg: ChannelWaitingGraph,
+        *,
+        max_nodes: int = 200_000,
+        max_segment_len: int | None = None,
+    ) -> None:
+        self.cwg = cwg
+        self.classifier = CycleClassifier(cwg, max_segment_len=max_segment_len or 10**9)
+        n_link = len(cwg.algorithm.network.link_channels)
+        self.max_segment_len = max_segment_len if max_segment_len is not None else n_link
+        self.max_nodes = max_nodes
+        channel = cwg.algorithm.network.channel
+        self._waitable: frozenset[Channel] = frozenset(
+            channel(b) for b in cwg.dep.target_cids()
+        )
+        #: blocked-message segments (dest, path, full waiting set), per head
+        self._segments: dict[Channel, list[tuple[Segment, frozenset[Channel]]]] = {}
+
+    def segments_from(self, head: Channel) -> list[tuple[Segment, frozenset[Channel]]]:
+        """All blocked-message segments starting at ``head``.
+
+        Unlike the cycle search there is no destination merging and no
+        held-set domination: a longer path covers more waits, so neither
+        reduction is sound here.  Each segment is paired with its full
+        waiting set; its ``waits_on`` is the set's minimum (for witness
+        display only).
+        """
+        cached = self._segments.get(head)
+        if cached is not None:
+            return cached
+        out: list[tuple[Segment, frozenset[Channel]]] = []
+        for dest in self.cwg.algorithm.network.nodes:
+            dt = self.cwg.transitions[dest]
+            if head not in dt.usable:
+                continue
+            path = [head]
+            on_path = {head}
+
+            def dfs(c: Channel) -> None:
+                waits = frozenset(dt.wait.get(c, ()))
+                if waits:
+                    seg = Segment(dest, tuple(path), min(waits, key=lambda ch: ch.cid))
+                    out.append((seg, waits))
+                if len(path) >= self.max_segment_len:
+                    return
+                for nxt in sorted(dt.succ.get(c, ()), key=lambda ch: ch.cid):
+                    if nxt in on_path:
+                        continue
+                    path.append(nxt)
+                    on_path.add(nxt)
+                    dfs(nxt)
+                    path.pop()
+                    on_path.discard(nxt)
+
+            dfs(head)
+        out.sort(key=lambda t: (len(t[0].path), t[0].dest,
+                                tuple(c.cid for c in t[0].path)))
+        self._segments[head] = out
+        return out
+
+    def search(self) -> ConfigOutcome:
+        """Find a deadlock configuration or prove none exists."""
+        outcome = ConfigOutcome()
+        budget = self.max_nodes
+        heads = sorted(self._waitable, key=lambda c: c.cid)
+
+        for start in heads:
+            chosen: list[tuple[Segment, frozenset[Channel]]] = []
+
+            def dfs(held: frozenset[Channel], pending: frozenset[Channel]) -> bool:
+                nonlocal budget
+                budget -= 1
+                if budget <= 0:
+                    outcome.exhaustive = False
+                    return False
+                if not pending:
+                    return self._accept(chosen, held, outcome)
+                w = min(pending, key=lambda c: c.cid)
+                # every member of a canonical configuration heads at or
+                # above the start channel; the cover may carry ``w``
+                # anywhere along its path
+                for h in heads:
+                    if h.cid < start.cid:
+                        continue
+                    for seg, waits in self.segments_from(h):
+                        if w not in seg.held or held & seg.held:
+                            continue
+                        nheld = held | seg.held
+                        chosen.append((seg, waits))
+                        if dfs(nheld, (pending | waits) - nheld):
+                            return True
+                        chosen.pop()
+                        if not outcome.exhaustive:
+                            return False
+                return False
+
+            for seg, waits in self.segments_from(start):
+                chosen.append((seg, waits))
+                if dfs(seg.held, waits - seg.held):
+                    outcome.nodes_explored = self.max_nodes - budget
+                    return outcome
+                chosen.pop()
+                if not outcome.exhaustive:
+                    outcome.nodes_explored = self.max_nodes - budget
+                    return outcome
+        outcome.nodes_explored = self.max_nodes - budget
+        return outcome
+
+    def _accept(
+        self,
+        chosen: list[tuple[Segment, frozenset[Channel]]],
+        held: frozenset[Channel],
+        outcome: ConfigOutcome,
+    ) -> bool:
+        """Reachability-check a closed configuration (Section 7.2 phase 2)."""
+        config = [seg for seg, _ in chosen]
+        for seg in config:
+            others = held - seg.held
+            if not (self.classifier._startable_at_source(seg) or
+                    self.classifier._prepath_avoiding(seg, others)):
+                outcome.undetermined.append(list(config))
+                return False
+        outcome.deadlock = config
         return True

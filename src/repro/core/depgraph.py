@@ -33,9 +33,13 @@ verifiers and the Section 8 reduction actually execute on.
 from __future__ import annotations
 
 from bisect import bisect_left
-from collections.abc import Iterator, Mapping
+from collections.abc import Iterable, Iterator, Mapping
+from typing import TYPE_CHECKING
 
 from ..topology.channel import Channel
+
+if TYPE_CHECKING:
+    from ..topology.network import Network
 
 
 def bits(mask: int) -> Iterator[int]:
@@ -46,7 +50,7 @@ def bits(mask: int) -> Iterator[int]:
         mask ^= low
 
 
-def mask_of_ints(values) -> int:
+def mask_of_ints(values: Iterable[int]) -> int:
     """Bitmask with one bit per integer in ``values``."""
     m = 0
     for v in values:
@@ -234,7 +238,7 @@ class DepGraph:
     __slots__ = ("network", "num_vertices", "indptr", "indices", "masks",
                  "_scc", "_fingerprint")
 
-    def __init__(self, network, edge_masks: Mapping[tuple[int, int], int]) -> None:
+    def __init__(self, network: Network, edge_masks: Mapping[tuple[int, int], int]) -> None:
         self.network = network
         self.num_vertices = n = network.num_channels
         items = sorted(edge_masks.items())

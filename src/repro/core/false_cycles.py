@@ -221,7 +221,7 @@ class CycleClassifier:
 
         # Phase 2: each message must be able to come to hold its segment head
         # without occupying another message's held channel.
-        all_held = frozenset().union(*(s.held for s in witness))
+        all_held: frozenset[Channel] = frozenset().union(*(s.held for s in witness))
         for seg in witness:
             if self._startable_at_source(seg):
                 continue

@@ -131,8 +131,8 @@ class CWGReducer:
             return ReductionResult(True, frozenset(), true_cls, false_cls, steps,
                                    reason="no True Cycles: CWG' = CWG")
 
-        n = len(true_cls)
         edge_lists: list[list[Edge]] = [list(cl.cycle.edges) for cl in true_cls]
+        n = len(edge_lists)
         attempted: list[set[Edge]] = [set() for _ in range(n)]
         removal_of: list[Edge | None] = [None] * n  # the edge removed for sigma_i
         resolved_order: list[int] = []  # explicitly resolved cycles, in order

@@ -28,6 +28,8 @@ Reachable-set computation runs on the SCC condensation so cyclic
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterator, Mapping
+
 from ..routing.relation import RoutingAlgorithm
 from ..topology.channel import Channel
 from .depgraph import bits, tarjan_scc
@@ -176,12 +178,15 @@ class TransitionCache:
             dt = self._cache[dest] = DestinationTransitions(self.algorithm, dest)
         return dt
 
-    def all_destinations(self):
+    def all_destinations(self) -> Iterator[DestinationTransitions]:
         """Iterate transitions for every node as destination."""
         for dest in self.algorithm.network.nodes:
             yield self[dest]
 
-    def collect_edge_dests(self, targets) -> dict[tuple[int, int], int]:
+    def collect_edge_dests(
+        self,
+        targets: Callable[[DestinationTransitions], Mapping[Channel, frozenset[Channel]]],
+    ) -> dict[tuple[int, int], int]:
         """Per-edge destination bitmasks over every destination's state walk.
 
         The one accumulation loop the CDG and CWG builders share:

@@ -42,6 +42,7 @@ from collections.abc import Iterable
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from ..analyze.screens import triage, triage_verdict
 from ..routing.relation import RoutingAlgorithm, WaitPolicy
 from ..sim import BernoulliTraffic, SimConfig, WormholeSimulator
 from ..verify.dally_seitz import dally_seitz
@@ -127,6 +128,25 @@ def check_theorem_enumerated(algorithm: RoutingAlgorithm) -> CheckerResult | Non
     )
 
 
+def check_triage(algorithm: RoutingAlgorithm) -> CheckerResult:
+    """The repro.analyze triage screens.  A decided triage synthesizes the
+    theorem checker's verdict (same claim discipline); ``needs-full-check``
+    claims nothing.  Its contract -- ``definitely-X`` never contradicts the
+    theorem -- is exactly what the implication rules then enforce."""
+    tri = triage(algorithm)
+    if not tri.decided:
+        return CheckerResult(
+            checker="triage", condition="triage screens", deadlock_free=None,
+            authoritative=False, claims_free=False, claims_deadlock=False,
+            detail=tri.summary(),
+        )
+    verdict = triage_verdict(algorithm, tri)
+    return result_from_verdict(
+        "triage", verdict,
+        claims_deadlock=not verdict.deadlock_free and verdict.necessary_and_sufficient,
+    )
+
+
 def check_duato(algorithm: RoutingAlgorithm) -> CheckerResult:
     """Duato's ECDG condition over the natural escape candidates."""
     verdict = search_escape(algorithm)
@@ -177,6 +197,7 @@ class Checker:
 REAL_CHECKERS: tuple[Checker, ...] = (
     Checker("theorem", check_theorem),
     Checker("theorem-enum", check_theorem_enumerated),
+    Checker("triage", check_triage),
     Checker("duato", check_duato),
     Checker("dally-seitz", check_dally_seitz),
     Checker("sim", check_simulator),
@@ -291,24 +312,30 @@ def run_stack(algorithm: RoutingAlgorithm, stack: OracleStack = REAL_STACK) -> O
                        f"{d.checker} proves deadlock ({d.detail})",
             ))
 
-    # Metamorphic cross-check: two authoritative Theorem 2 implementations
-    # must agree exactly (this also fires when both refute but one is wrong
-    # about *which* way, which the claim rules above would miss).
-    t_search, t_enum = report.result("theorem"), report.result("theorem-enum")
-    if (
-        t_search is not None and t_enum is not None
-        and t_search.authoritative and t_enum.authoritative
-        and t_search.deadlock_free is not None and t_enum.deadlock_free is not None
-        and t_search.deadlock_free != t_enum.deadlock_free
+    # Metamorphic cross-checks between authoritative deciders of the *same*
+    # condition, which must agree exactly (these also fire when both refute
+    # but one is wrong about *which* way, which the claim rules above miss):
+    # the two Theorem 2 implementations, and the triage screens against the
+    # theorem checker whose early paths they hoist.
+    for a_name, b_name, what in (
+        ("theorem", "theorem-enum", "search-based and enumerated Theorem 2"),
+        ("theorem", "triage", "the theorem checker and the triage screens"),
     ):
-        f, d = (t_search, t_enum) if t_search.deadlock_free else (t_enum, t_search)
-        already = {(x.free_checker, x.deadlock_checker) for x in report.discrepancies}
-        if (f.checker, d.checker) not in already:
-            report.discrepancies.append(Discrepancy(
-                kind="authoritative-disagreement",
-                free_checker=f.checker,
-                deadlock_checker=d.checker,
-                detail=f"search-based and enumerated Theorem 2 disagree: "
-                       f"{f.checker} says free ({f.detail}); {d.checker} refutes ({d.detail})",
-            ))
+        a, b = report.result(a_name), report.result(b_name)
+        if (
+            a is not None and b is not None
+            and a.authoritative and b.authoritative
+            and a.deadlock_free is not None and b.deadlock_free is not None
+            and a.deadlock_free != b.deadlock_free
+        ):
+            f, d = (a, b) if a.deadlock_free else (b, a)
+            already = {(x.free_checker, x.deadlock_checker) for x in report.discrepancies}
+            if (f.checker, d.checker) not in already:
+                report.discrepancies.append(Discrepancy(
+                    kind="authoritative-disagreement",
+                    free_checker=f.checker,
+                    deadlock_checker=d.checker,
+                    detail=f"{what} disagree: "
+                           f"{f.checker} says free ({f.detail}); {d.checker} refutes ({d.detail})",
+                ))
     return report

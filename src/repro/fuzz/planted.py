@@ -17,6 +17,9 @@ Variants
     far downstream.  The broken graph is missing wait edges, so the theorem
     checker wrongly certifies relations whose deadlocks involve multi-hop
     holds -- exactly what SPECIFIC-policy random relations exercise.
+    (ANY-policy verdicts are no longer fooled: Theorem 3's blocked-chain
+    and configuration searches read the transition cache, not the
+    dependency graph, so this variant's teeth are specific-waiting cases.)
 ``duato-no-indirect``
     Builds the ECDG without INDIRECT / INDIRECT_CROSS dependencies -- the
     mistake Duato's paper exists to correct (adaptive excursions off the

@@ -30,7 +30,7 @@ from ..core.cycles import Cycle, CycleExplosion, find_cycles
 from ..core.reduction import CWGReducer, ReductionResult
 from ..routing.relation import RoutingAlgorithm
 from ..topology.network import Network
-from ..verify.report import Verdict
+from ..verify.report import Verdict, stable_evidence
 
 
 class VerificationCache:
@@ -224,15 +224,21 @@ def slim_evidence(evidence: dict[str, Any]) -> dict[str, Any]:
     lists; rich objects (classifications, deadlock configurations,
     reduction traces) are summarized to strings -- the full objects are
     recomputable, the report only needs the headline facts.
+
+    Evidence is canonicalized first (:func:`stable_evidence`), so set-valued
+    witnesses serialize in one deterministic order no matter which
+    process-pool worker produced them.
     """
     out: dict[str, Any] = {}
-    for k, v in evidence.items():
+    for k, v in stable_evidence(evidence).items():
         if isinstance(v, _SCALAR):
             out[k] = v
         elif isinstance(v, Cycle):
             out[k] = [c.cid for c in v.channels]
-        elif isinstance(v, (list, tuple)) and all(isinstance(x, _SCALAR) for x in v):
-            out[k] = list(v)
+        elif isinstance(v, list) and all(isinstance(x, _SCALAR) for x in v):
+            out[k] = v
+        elif isinstance(v, list) and v and all(hasattr(x, "cid") for x in v):
+            out[k] = [x.cid for x in v]
         else:
             out[k] = repr(v)
     return out

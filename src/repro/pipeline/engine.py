@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from ..analyze.screens import triage, triage_verdict
 from ..core.transitions import TransitionCache
 from ..routing.catalog import CATALOG, make
 from ..routing.relation import RoutingAlgorithm
@@ -78,6 +79,9 @@ class JobSpec:
     dims: tuple[int, ...] | None = None
     vcs: int | None = None
     conditions: tuple[str, ...] = DEFAULT_CONDITIONS
+    #: run the repro.analyze triage screens before the theorem checker and
+    #: skip it when a screen decides (False forces the full check)
+    triage: bool = True
 
     def build(self) -> RoutingAlgorithm:
         net = build_topology(self.topology, self.dims, self.vcs)
@@ -95,6 +99,7 @@ def catalog_specs(
     torus_dims: tuple[int, ...] = (4, 4),
     hypercube_dim: int = 3,
     conditions: tuple[str, ...] = DEFAULT_CONDITIONS,
+    triage: bool = True,
 ) -> list[JobSpec]:
     """Job specs for (a subset of) the routing catalog on default topologies."""
     dims_for = {
@@ -113,6 +118,7 @@ def catalog_specs(
             dims=dims_for[entry.topology],
             vcs=entry.min_vcs,
             conditions=conditions,
+            triage=triage,
         ))
     return specs
 
@@ -225,9 +231,29 @@ def run_job(spec: JobSpec, cache: VerificationCache | None = None) -> JobResult:
             with metrics.timer(f"verify:{key}"):
                 if key == "theorem":
                     def compute():
-                        with metrics.timer("cwg"):
-                            cwg = cached_cwg(ra, cache, fingerprint=fp, transitions=transitions)
-                        return verify(ra, cwg=cwg)
+                        # Build (and cache) the CWG at most once per job: the
+                        # ordering-certificate screen can decide from the CDG
+                        # alone, and a triage fall-through must hand the deep
+                        # screens' graph straight to the theorem checker.
+                        built: list = []
+
+                        def build_cwg():
+                            if not built:
+                                with metrics.timer("cwg"):
+                                    built.append(cached_cwg(
+                                        ra, cache, fingerprint=fp, transitions=transitions))
+                            return built[0]
+
+                        if spec.triage:
+                            with metrics.timer("triage"):
+                                tri = triage(ra, transitions=transitions,
+                                             cwg_builder=build_cwg)
+                            if tri.decided:
+                                metrics.count("triage_decided")
+                                metrics.count(f"triage_screen:{tri.decided_by}")
+                                return triage_verdict(ra, tri)
+                            metrics.count("triage_full_check")
+                        return verify(ra, cwg=build_cwg())
                 elif key == "duato":
                     compute = lambda: search_escape(ra)  # noqa: E731
                 else:

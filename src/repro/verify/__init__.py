@@ -20,7 +20,7 @@ from .necsuf import (
     theorem3,
     verify,
 )
-from .report import VerificationError, Verdict
+from .report import VerificationError, Verdict, ordered_witness, stable_evidence
 
 __all__ = [
     "DeadlockConfiguration",
@@ -31,7 +31,9 @@ __all__ = [
     "deadlock_configuration",
     "duato_condition",
     "is_nonadaptive",
+    "ordered_witness",
     "search_escape",
+    "stable_evidence",
     "theorem1",
     "theorem2",
     "theorem3",

@@ -110,12 +110,12 @@ def search_escape(
             evidence={"applicable": False},
         )
     vcs = sorted({c.vc for c in algorithm.network.link_channels})
-    candidates: list[tuple[str, frozenset]] = []
+    candidates: list[tuple[str, EscapeSpec]] = []
     for r in range(1, min(max_class_union, len(vcs)) + 1):
         for combo in combinations(vcs, r):
             candidates.append((f"vc classes {combo}", escape_by_vc(algorithm, combo)))
     candidates.append(("all channels", frozenset(algorithm.network.link_channels)))
-    tried = []
+    tried: list[str] = []
     for label, esc in candidates:
         verdict = duato_condition(algorithm, esc, check_applicability=False, ecdg_cls=ecdg_cls)
         tried.append(label)

@@ -22,7 +22,9 @@ at worst the verifier is incomplete and says so in the verdict.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
+from typing import Any
 
 from ..core.cwg import ChannelWaitingGraph, wait_connected
 from ..core.cycles import find_cycles, find_one_cycle
@@ -50,7 +52,7 @@ class DeadlockConfiguration:
         return len(self.dests)
 
     def describe(self) -> str:
-        lines = []
+        lines: list[str] = []
         for i in range(len(self.dests)):
             chain = ", ".join(c.label or f"c{c.cid}" for c in self.held[i])
             w = self.waits_on[i]
@@ -210,11 +212,14 @@ def theorem3(
     """Theorem 3: (any-waiting) deadlock-free iff some wait-connected CWG'
     has no True Cycles (searched with the Section 8 reduction).
 
-    Before attempting the full reduction, a fast sound *negative* check
-    runs: a True Cycle whose every blocked message has a single waiting
-    channel deadlocks even under wait-on-ANY semantics and survives every
-    CWG' (its edges are irremovable without breaking wait-connectivity), so
-    finding one settles the question without enumerating cycles.
+    Before attempting the full reduction, a sound *negative* check runs: a
+    True Cycle in which every blocked message's **entire** waiting set is
+    held within the configuration (self-held channels included) deadlocks
+    even under wait-on-ANY semantics -- no message has an escape channel to
+    wait for -- so finding one settles the question without enumerating
+    cycles.  Messages may span several cycle channels; restricting the
+    check to single-waiting-channel states would miss exactly those
+    configurations.
     """
     cwg = cwg or ChannelWaitingGraph(algorithm)
     wc, why = wait_connected(algorithm, transitions=cwg.transitions)
@@ -229,14 +234,14 @@ def theorem3(
     from ..core.cycles import CycleExplosion
     from ..core.deadlock_search import TrueCycleSearch
 
-    fast = TrueCycleSearch(cwg, max_nodes=max_nodes, single_wait_only=True).search()
+    fast = TrueCycleSearch(cwg, max_nodes=max_nodes, any_wait_blocked=True).search()
     if fast.true_cycle is not None:
         cls = fast.true_cycle
         return Verdict(
             algorithm.name, "Theorem 3", False,
             reason=(
-                f"True Cycle {cls.cycle!r} of single-waiting-channel states: "
-                "it survives every wait-connected CWG'"
+                f"True Cycle {cls.cycle!r} with every waiting set held "
+                "within the configuration: it deadlocks under wait-on-any"
             ),
             evidence={
                 "cycle": cls.cycle,
@@ -253,10 +258,11 @@ def theorem3(
     # exactly how the paper handles the wait-on-any variants of its Section
     # 9 algorithms: "CWG' is restricted to the first virtual channel in the
     # lowest dimension".)
-    for label, key in (
+    narrowings: tuple[tuple[str, Callable[[Channel], Any]], ...] = (
         ("lowest VC class", lambda c: (c.vc, c.cid)),
         ("lowest cid", lambda c: c.cid),
-    ):
+    )
+    for label, key in narrowings:
         narrowed = _NarrowedWaiting(algorithm, key)
         ncwg = ChannelWaitingGraph(narrowed)
         if find_one_cycle(ncwg.dep) is None:
@@ -276,31 +282,206 @@ def theorem3(
                 evidence={"cwg_edges": len(cwg), "cwg_prime_edges": len(ncwg)},
             )
 
+    # A reduction certificate must be *verified* before it is trusted.  The
+    # reduction's wait-connectivity test only protects the immediate wait
+    # edge of each state, but a message can realize a removed edge by having
+    # already ACQUIRED both endpoints: two messages each spanning two
+    # channels of a cycle deadlock under wait-on-any even though every
+    # single-message cycle was broken.  So each candidate is checked the
+    # same way the narrowing fast path is: the surviving per-state waits
+    # define a specific-waiting discipline whose full (downstream-
+    # propagated) CWG must have no True Cycles.  Soundness: in an original
+    # any-wait deadlock every retained waiting channel of every message is
+    # held within the configuration, so chasing one retained wait per
+    # message yields a message cycle that the verification search would
+    # find -- a candidate it certifies therefore transfers to the original.
+    #
+    # A witness that survives verification is repaired *per state*: the
+    # offending waiting channel is dropped (or swapped for a different
+    # original one) at the exact ``(channel, destination)`` state where the
+    # witness blocks.  Edge removal cannot express this -- a CWG edge is
+    # shared by every destination, and breaking it for all of them can
+    # break Definition 10 at states the witness never visits.
     reducer = CWGReducer(cwg, cycle_limit=cycle_limit)
     try:
         result = reducer.run()
     except CycleExplosion as exc:
-        return Verdict(
+        return _theorem3_config_decision(algorithm, cwg, None, max_nodes, Verdict(
             algorithm.name, "Theorem 3", False, necessary_and_sufficient=False,
             reason=f"Section 8 reduction infeasible: {exc}",
             evidence={"cwg_edges": len(cwg)},
+        ))
+    if not result.success:
+        # Edge-granular exhaustion does not rule out a per-state discipline,
+        # and the any-wait deadlock search above found nothing: undecided
+        # unless the configuration search below settles it.
+        return _theorem3_config_decision(algorithm, cwg, result, max_nodes, Verdict(
+            algorithm.name, "Theorem 3", False, necessary_and_sufficient=False,
+            reason=f"{result.reason} (edge removals exhausted): cannot certify",
+            evidence={"reduction": result},
+        ))
+    surviving = dict(reducer.surviving_waits(result.removed) or {})
+    seen_disciplines = {frozenset(surviving.items())}
+    for _ in range(32):
+        ncwg = ChannelWaitingGraph(_ReducedWaiting(algorithm, surviving))
+        if find_one_cycle(ncwg.dep) is None:
+            break
+        check = TrueCycleSearch(ncwg, max_nodes=max_nodes).search()
+        if check.proves_no_true_cycle:
+            break
+        cls = check.true_cycle or (check.undetermined[0] if check.undetermined else None)
+        if cls is None:
+            return _theorem3_config_decision(algorithm, cwg, result, max_nodes, Verdict(
+                algorithm.name, "Theorem 3", False, necessary_and_sufficient=False,
+                reason="CWG' verification budget exhausted: cannot certify",
+                evidence={"reduction": result, "cwg_edges": len(cwg)},
+            ))
+        if not _repair_discipline(surviving, cls.witness, cwg) or \
+                frozenset(surviving.items()) in seen_disciplines:
+            return _theorem3_config_decision(algorithm, cwg, result, max_nodes, Verdict(
+                algorithm.name, "Theorem 3", False, necessary_and_sufficient=False,
+                reason=(
+                    "every per-state specific narrowing of the waiting "
+                    "discipline admits a True Cycle: cannot certify"
+                ),
+                evidence={"reduction": result, "cycle": cls.cycle,
+                          "cwg_edges": len(cwg)},
+            ))
+        seen_disciplines.add(frozenset(surviving.items()))
+    else:
+        return _theorem3_config_decision(algorithm, cwg, result, max_nodes, Verdict(
+            algorithm.name, "Theorem 3", False, necessary_and_sufficient=False,
+            reason=(
+                "Section 8 reduction did not converge on a verified CWG' "
+                "within 32 repair rounds: cannot certify"
+            ),
+            evidence={"cwg_edges": len(cwg)},
+        ))
+    return Verdict(
+        algorithm.name, "Theorem 3", True,
+        reason=(
+            "wait-connected CWG' with no True Cycles found "
+            f"({len(result.removed)} edges removed, "
+            f"{len(result.true_cycles)} True Cycles resolved, "
+            f"{len(result.false_cycles)} False Resource Cycles ignored)"
+        ),
+        evidence={"reduction": result, "cwg_edges": len(cwg)},
+    )
+
+
+def _repair_discipline(
+    surviving: dict[tuple[int, int], frozenset[Channel]],
+    witness: list[Segment],
+    cwg: ChannelWaitingGraph,
+) -> bool:
+    """Narrow the per-state waiting discipline to kill a surviving witness.
+
+    Each witness segment blocks at its final channel (for its destination)
+    on ``waits_on``; removing that channel from the state's waiting set
+    eliminates this witness exactly.  A state may only be narrowed while it
+    keeps at least one waiting channel (Definition 10 per state); when the
+    offender is the state's last survivor but the *original* discipline
+    offers alternatives, the state is re-widened to those instead.  Returns
+    False when no state of the witness can be changed.
+    """
+    swap: tuple[tuple[int, int], frozenset[Channel]] | None = None
+    for seg in witness:
+        tail = seg.path[-1]
+        key = (tail.cid, seg.dest)
+        original = frozenset(cwg.transitions[seg.dest].wait.get(tail, ()))
+        cur = surviving.get(key, original)
+        if seg.waits_on not in cur:
+            continue
+        if len(cur) > 1:
+            surviving[key] = cur - {seg.waits_on}
+            return True
+        alts = original - {seg.waits_on}
+        if alts and swap is None:
+            swap = (key, alts)
+    if swap is not None:
+        surviving[swap[0]] = swap[1]
+        return True
+    return False
+
+
+def _theorem3_config_decision(
+    algorithm: RoutingAlgorithm,
+    cwg: ChannelWaitingGraph,
+    reduction: Any,
+    max_nodes: int,
+    fallback: Verdict,
+) -> Verdict:
+    """Decide Theorem 3 exactly when the certificate searches are stuck.
+
+    Neither direction of the fast machinery is complete: the cycle searches
+    miss braided deadlocks (a message pinned by several others), and a
+    per-state specific narrowing can be impossible even though the
+    algorithm is deadlock-free under wait-on-any -- the paper's incoherent
+    example deadlocks under *every* specific choice at its critical state,
+    yet no reachable configuration occupies both waiting channels at once.
+    The exhaustive configuration search settles both sides; only when it
+    exceeds its budget (or hits a reachability-undetermined configuration)
+    is the non-authoritative ``fallback`` verdict returned.
+    """
+    from ..core.deadlock_search import AnyWaitConfigSearch
+
+    outcome = AnyWaitConfigSearch(cwg, max_nodes=max(max_nodes // 10, 10_000)).search()
+    if outcome.deadlock is not None:
+        return Verdict(
+            algorithm.name, "Theorem 3", False,
+            reason=(
+                "deadlock configuration found: every message's full waiting "
+                "set is occupied within the configuration"
+            ),
+            evidence={
+                "deadlock_configuration": deadlock_configuration(outcome.deadlock),
+                "cwg_edges": len(cwg),
+            },
         )
-    if result.success:
+    if outcome.proves_deadlock_free:
+        evidence: dict[str, Any] = {
+            "cwg_edges": len(cwg),
+            "nodes_explored": outcome.nodes_explored,
+        }
+        if reduction is not None:
+            evidence["reduction"] = reduction
         return Verdict(
             algorithm.name, "Theorem 3", True,
             reason=(
-                "wait-connected CWG' with no True Cycles found "
-                f"({len(result.removed)} edges removed, "
-                f"{len(result.true_cycles)} True Cycles resolved, "
-                f"{len(result.false_cycles)} False Resource Cycles ignored)"
+                "exhaustive configuration search: no reachable set of "
+                "messages occupies every member's full waiting set"
             ),
-            evidence={"reduction": result, "cwg_edges": len(cwg)},
+            evidence=evidence,
         )
-    return Verdict(
-        algorithm.name, "Theorem 3", False,
-        reason=result.reason,
-        evidence={"reduction": result},
-    )
+    return fallback
+
+
+class _ReducedWaiting(RoutingAlgorithm):
+    """The CWG' waiting discipline as a specific-waiting algorithm.
+
+    Routes are unchanged; the waiting set at every reachable state is the
+    per-state set that survived the Section 8 removals.  Used by Theorem 3
+    to verify a reduction certificate on the full downstream-propagated CWG.
+    """
+
+    def __init__(
+        self,
+        inner: RoutingAlgorithm,
+        surviving: dict[tuple[int, int], frozenset[Channel]],
+    ) -> None:
+        super().__init__(inner.network)
+        self.inner = inner
+        self.surviving = surviving
+        self.name = f"{inner.name}#cwg-prime"
+        self.form = inner.form
+        self.wait_policy = WaitPolicy.SPECIFIC
+
+    def route(self, c_in: Channel, node: int, dest: int) -> frozenset[Channel]:
+        return self.inner.route(c_in, node, dest)
+
+    def waiting_channels(self, c_in: Channel, node: int, dest: int) -> frozenset[Channel]:
+        waits = self.inner.waiting_channels(c_in, node, dest)
+        return self.surviving.get((c_in.cid, dest), waits)
 
 
 class _NarrowedWaiting(RoutingAlgorithm):
@@ -311,7 +492,7 @@ class _NarrowedWaiting(RoutingAlgorithm):
     candidate generator.
     """
 
-    def __init__(self, inner: RoutingAlgorithm, key) -> None:
+    def __init__(self, inner: RoutingAlgorithm, key: Callable[[Channel], Any]) -> None:
         super().__init__(inner.network)
         self.inner = inner
         self.key = key
@@ -319,10 +500,10 @@ class _NarrowedWaiting(RoutingAlgorithm):
         self.form = inner.form
         self.wait_policy = WaitPolicy.SPECIFIC
 
-    def route(self, c_in, node, dest):
+    def route(self, c_in: Channel, node: int, dest: int) -> frozenset[Channel]:
         return self.inner.route(c_in, node, dest)
 
-    def waiting_channels(self, c_in, node, dest):
+    def waiting_channels(self, c_in: Channel, node: int, dest: int) -> frozenset[Channel]:
         waits = self.inner.waiting_channels(c_in, node, dest)
         if not waits:
             return waits
@@ -330,7 +511,7 @@ class _NarrowedWaiting(RoutingAlgorithm):
 
 
 # ----------------------------------------------------------------------
-def verify(algorithm: RoutingAlgorithm, **kwargs) -> Verdict:
+def verify(algorithm: RoutingAlgorithm, **kwargs: Any) -> Verdict:
     """Apply the paper's condition matching the algorithm's wait policy."""
     if algorithm.wait_policy is WaitPolicy.SPECIFIC:
         return theorem2(algorithm, **kwargs)

@@ -9,6 +9,7 @@ the same tables regardless of which condition ran.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -43,3 +44,46 @@ class Verdict:
 
 class VerificationError(RuntimeError):
     """Raised when a condition is applied outside its hypotheses."""
+
+
+# ----------------------------------------------------------------------
+# deterministic witness ordering
+# ----------------------------------------------------------------------
+def _witness_key(value: Any) -> tuple[int, float, str]:
+    """Total order over heterogeneous witness members.
+
+    Channels sort by ``cid``, numbers numerically, everything else by its
+    string form -- never by hash or insertion order, so two processes (or
+    two ``PYTHONHASHSEED`` values) always agree.
+    """
+    cid = getattr(value, "cid", None)
+    if cid is not None:
+        return (0, float(cid), "")
+    if isinstance(value, bool):
+        return (1, float(value), "")
+    if isinstance(value, (int, float)):
+        return (1, float(value), "")
+    return (2, 0.0, str(value))
+
+
+def ordered_witness(values: Iterable[Any]) -> list[Any]:
+    """Sort an unordered witness collection (channels, nodes, labels)
+    into the one canonical order every report and renderer uses."""
+    return sorted(values, key=_witness_key)
+
+
+def stable_evidence(evidence: dict[str, Any]) -> dict[str, Any]:
+    """Recursively canonicalize evidence: sets become sorted lists and
+    nested dicts get sorted keys, so serialized verdicts are
+    byte-reproducible across runs and process-pool workers."""
+
+    def canon(v: Any) -> Any:
+        if isinstance(v, (set, frozenset)):
+            return ordered_witness(v)
+        if isinstance(v, dict):
+            return {k: canon(v[k]) for k in sorted(v, key=str)}
+        if isinstance(v, (list, tuple)):
+            return [canon(x) for x in v]
+        return v
+
+    return {k: canon(evidence[k]) for k in evidence}

@@ -1,0 +1,314 @@
+"""The static analyzer: diagnostics, rules, triage screens, renderers.
+
+Three contracts are pinned here:
+
+* **soundness** -- every triage decision agrees with the catalog's certified
+  deadlock-freedom flags (the same agreement the fuzz oracle enforces
+  against the theorem checker on random relations);
+* **stability** -- the full catalog produces exactly the frozen
+  expected-diagnostics matrix (``tests/fixtures/lint_catalog_expected.json``),
+  so a rule regression shows up as a diff of that fixture, not as silence;
+* **determinism** -- reports render byte-identically across repeated runs
+  and across hash seeds, which is what makes the committed baseline and the
+  CI SARIF artifact trustworthy.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analyze import (
+    DEFINITELY_DEADLOCKING,
+    DEFINITELY_FREE,
+    NEEDS_FULL_CHECK,
+    AnalysisReport,
+    Diagnostic,
+    Location,
+    RuleConfig,
+    Severity,
+    all_rules,
+    analyze,
+    apply_baseline,
+    load_baseline,
+    render_json,
+    render_sarif,
+    render_text,
+    sarif_payload,
+    triage,
+    triage_verdict,
+    write_baseline,
+)
+from repro.analyze.screens import (
+    forced_cycle_screen,
+    ordering_certificate_screen,
+    sink_elimination_screen,
+)
+from repro.core.cwg import ChannelWaitingGraph
+from repro.deps.cdg import ChannelDependencyGraph
+from repro.pipeline import build_topology
+from repro.routing import CATALOG, make
+
+FIXTURE = Path(__file__).parent / "fixtures" / "lint_catalog_expected.json"
+DIMS = {"mesh": (4, 4), "torus": (4, 4), "hypercube": (3,),
+        "figure1": None, "figure4": None}
+
+
+def catalog_algorithm(name: str):
+    entry = CATALOG[name]
+    net = build_topology(entry.topology, DIMS.get(entry.topology), entry.min_vcs)
+    return make(name, net)
+
+
+@pytest.fixture(scope="module")
+def catalog_reports():
+    return {name: analyze(catalog_algorithm(name), target=name)
+            for name in sorted(CATALOG)}
+
+
+@pytest.fixture(scope="module")
+def expected_matrix():
+    return json.loads(FIXTURE.read_text())
+
+
+# ----------------------------------------------------------------------
+# the frozen expected-diagnostics matrix
+# ----------------------------------------------------------------------
+def test_matrix_covers_catalog(expected_matrix):
+    assert sorted(expected_matrix) == sorted(CATALOG)
+
+
+@pytest.mark.parametrize("name", sorted(CATALOG))
+def test_catalog_diagnostics_match_fixture(name, catalog_reports, expected_matrix):
+    report = catalog_reports[name]
+    assert report.error == "", report.error
+    counts: dict[str, int] = {}
+    for d in report.diagnostics:
+        counts[d.rule] = counts.get(d.rule, 0) + 1
+    exp = expected_matrix[name]
+    assert counts == exp["rules"]
+    assert report.triage is not None
+    assert report.triage.verdict == exp["triage"]
+    assert report.triage.decided_by == exp["decided_by"]
+
+
+def test_each_screen_decides_some_catalog_entry(expected_matrix):
+    deciders = {e["decided_by"] for e in expected_matrix.values() if e["decided_by"]}
+    assert {"ordering-certificate", "sink-elimination", "scc-condensation"} <= deciders
+
+
+# ----------------------------------------------------------------------
+# triage soundness against the certified catalog flags
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(CATALOG))
+def test_triage_agrees_with_certified_flags(name, catalog_reports):
+    tri = catalog_reports[name].triage
+    assert tri is not None
+    if tri.verdict == DEFINITELY_FREE:
+        assert CATALOG[name].deadlock_free, name
+    elif tri.verdict == DEFINITELY_DEADLOCKING:
+        assert not CATALOG[name].deadlock_free, name
+    else:
+        assert tri.verdict == NEEDS_FULL_CHECK
+
+
+def test_triage_verdict_requires_decision():
+    ra = catalog_algorithm("ring-figure4")
+    tri = triage(ra)
+    assert not tri.decided
+    with pytest.raises(ValueError):
+        triage_verdict(ra, tri)
+
+
+def test_triage_verdict_carries_forced_cycle_witness():
+    ra = catalog_algorithm("relaxed-efa")
+    tri = triage(ra)
+    assert tri.decided_by == "scc-condensation"
+    v = triage_verdict(ra, tri)
+    assert not v.deadlock_free and v.necessary_and_sufficient
+    assert v.evidence["triage"] == "scc-condensation"
+    cycle = v.evidence["cycle"]
+    assert len(cycle) == len(set(cycle)) >= 2
+    assert len(v.evidence["cycle_dests"]) == len(cycle)
+
+
+# ----------------------------------------------------------------------
+# screen unit tests on the paper's worked examples
+# ----------------------------------------------------------------------
+def test_ordering_inference_on_ecube_mesh():
+    cdg = ChannelDependencyGraph(catalog_algorithm("e-cube-mesh"))
+    s = ordering_certificate_screen(cdg)
+    assert s.outcome == "free"
+    assert s.witness["numbering_size"] > 0
+
+
+def test_ordering_inference_fails_on_figure4_ring_with_witness_edges():
+    cdg = ChannelDependencyGraph(catalog_algorithm("ring-figure4"))
+    s = ordering_certificate_screen(cdg)
+    assert s.outcome == "undecided"
+    edges = s.witness["violating_edges"]
+    assert edges, "the Figure 4 ring's CDG is cyclic"
+    labels, _ = cdg.dep.scc()
+    assert all(labels[u] == labels[v] for u, v in edges)
+
+
+def test_sink_elimination_proves_efa_acyclic():
+    # Fig. 6: EFA's CWG is acyclic even though its CDG is not -- the peel
+    # must eliminate every channel while the ordering certificate fails.
+    ra = catalog_algorithm("enhanced-fully-adaptive")
+    assert ordering_certificate_screen(ChannelDependencyGraph(ra)).outcome == "undecided"
+    s = sink_elimination_screen(ChannelWaitingGraph(ra))
+    assert s.outcome == "free"
+    assert s.witness["rounds"] >= 1
+
+
+def test_sink_elimination_residue_on_figure4_ring():
+    cwg = ChannelWaitingGraph(catalog_algorithm("ring-figure4"))
+    s = sink_elimination_screen(cwg)
+    assert s.outcome == "undecided"
+    residue = s.witness["residue"]
+    assert residue == sorted(residue)
+    # every residue channel keeps an out-edge into the residue (cycle-bound)
+    rset = set(residue)
+    assert all(any(v in rset for v in cwg.dep.succ_cids(u)) for u in residue)
+    # ...but no forced cycle exists: the ring is free (Section 7.2)
+    assert forced_cycle_screen(cwg).outcome == "undecided"
+
+
+# ----------------------------------------------------------------------
+# diagnostics: ordering, fingerprints, config
+# ----------------------------------------------------------------------
+def test_location_sorts_unordered_kinds_but_preserves_pairs():
+    assert Location("channel", channels=(5, 2)).channels == (2, 5)
+    assert Location("pair", nodes=(3, 0)).nodes == (3, 0)
+    assert Location("cycle", channels=(7, 2, 4)).channels == (7, 2, 4)
+
+
+def test_diagnostic_order_is_severity_then_rule():
+    mk = lambda rule, sev: Diagnostic(rule, sev, "m", target="t")  # noqa: E731
+    ds = [mk("RH101", Severity.INFO), mk("RR001", Severity.ERROR),
+          mk("RH103", Severity.WARNING)]
+    from repro.analyze import sort_diagnostics
+    assert [d.rule for d in sort_diagnostics(ds)] == ["RR001", "RH103", "RH101"]
+
+
+def test_fingerprint_ignores_message_but_not_location():
+    a = Diagnostic("RH101", Severity.INFO, "one wording",
+                   Location("channel", channels=(3,)), target="t")
+    b = Diagnostic("RH101", Severity.INFO, "another wording",
+                   Location("channel", channels=(3,)), target="t")
+    c = Diagnostic("RH101", Severity.INFO, "one wording",
+                   Location("channel", channels=(4,)), target="t")
+    assert a.fingerprint() == b.fingerprint() != c.fingerprint()
+
+
+def test_rule_config_disable_select_and_severity():
+    from repro.analyze import REGISTRY
+    rh101, rt201 = REGISTRY["RH101"], REGISTRY["RT201"]
+    cfg = RuleConfig.from_tokens(disable=["RH101"], select=[])
+    assert not cfg.enabled(rh101) and cfg.enabled(rt201)
+    cfg = RuleConfig.from_tokens(disable=[], select=["RT201", "RR001"])
+    assert cfg.enabled(rt201) and not cfg.enabled(rh101)
+    with pytest.raises(ValueError):
+        RuleConfig.from_tokens(disable=["NOPE99"], select=[])
+
+
+def test_rule_registry_is_complete_and_well_formed():
+    rules = all_rules()
+    ids = [r.id for r in rules]
+    assert ids == sorted(ids) and len(ids) == len(set(ids))
+    assert {"RR001", "RR002", "RR003", "RH101", "RH102", "RH103", "RH104",
+            "RT201"} == set(ids)
+    for r in rules:
+        assert r.clause and r.summary
+
+
+# ----------------------------------------------------------------------
+# baseline roundtrip
+# ----------------------------------------------------------------------
+def test_baseline_roundtrip_suppresses_everything(tmp_path, catalog_reports):
+    report = AnalysisReport()
+    for name in ("ring-figure4", "relaxed-efa"):
+        report.add(catalog_reports[name])
+    report.finalize()
+    before = len(report.diagnostics)
+    assert before > 0
+    path = tmp_path / "baseline.json"
+    assert write_baseline(report, path) == before
+    apply_baseline(report, load_baseline(path))
+    assert report.diagnostics == []
+    assert sum(report.suppressed.values()) == before
+
+
+def test_committed_baseline_matches_catalog(catalog_reports):
+    report = AnalysisReport()
+    for t in catalog_reports.values():
+        report.add(t)
+    report.finalize()
+    suppressions = load_baseline(Path(__file__).parent.parent / "lint-baseline.json")
+    apply_baseline(report, suppressions)
+    leftover = [(d.target, d.rule) for d in report.diagnostics]
+    assert leftover == [], "catalog findings outside the committed baseline"
+
+
+# ----------------------------------------------------------------------
+# renderers: SARIF validity and byte determinism
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def small_report(catalog_reports):
+    report = AnalysisReport()
+    for name in ("e-cube-mesh", "ring-figure4", "relaxed-efa"):
+        report.add(catalog_reports[name])
+    return report.finalize()
+
+
+def test_sarif_is_schema_valid(small_report):
+    jsonschema = pytest.importorskip("jsonschema")
+    schema = json.loads(
+        (Path(__file__).parent / "fixtures" / "sarif-2.1.0-trimmed.schema.json")
+        .read_text()
+    )
+    doc = sarif_payload(small_report)
+    jsonschema.validate(doc, schema)
+    run = doc["runs"][0]
+    rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    for res in run["results"]:
+        assert res["ruleId"] == rule_ids[res["ruleIndex"]]
+        assert res["partialFingerprints"]["reproDiagnostic/v1"]
+
+
+def test_renderers_are_byte_deterministic():
+    def build():
+        report = AnalysisReport()
+        for name in ("ring-figure4", "relaxed-efa", "dally-seitz-torus"):
+            report.add(analyze(catalog_algorithm(name), target=name))
+        return report.finalize()
+
+    a, b = build(), build()
+    assert render_text(a) == render_text(b)
+    assert render_json(a) == render_json(b)
+    assert render_sarif(a) == render_sarif(b)
+
+
+def test_text_render_shows_triage_and_summary(small_report):
+    text = render_text(small_report)
+    assert "e-cube-mesh" in text
+    assert "definitely-deadlocking" in text
+    assert "3 targets analyzed" in text
+
+
+def test_analysis_crash_degrades_to_error_report():
+    class Exploding:
+        name = "boom"
+
+        class network:  # noqa: N801 - minimal stand-in
+            name = "nowhere"
+
+        class wait_policy:
+            value = "any"
+
+    report = analyze(Exploding(), target="boom")  # type: ignore[arg-type]
+    assert report.error
+    assert report.diagnostics == []

@@ -1,0 +1,179 @@
+"""``python -m repro lint``: exit codes, baselines, case/corpus inputs.
+
+The CLI contract CI relies on: rc 0 = clean (or everything baselined),
+rc 1 = findings at/above ``--fail-on``, rc 2 = a target failed to build or
+analyze.  SARIF output must be byte-identical across processes and hash
+seeds -- that is what makes the uploaded artifact diffable.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+from repro.fuzz.table import TableCase
+from repro.pipeline import build_topology
+from repro.routing import make
+
+REPO = Path(__file__).parent.parent
+
+
+def run_lint(capsys, *argv: str) -> tuple[int, str]:
+    rc = main(["lint", *argv])
+    return rc, capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# exit codes
+# ----------------------------------------------------------------------
+def test_clean_target_exits_zero(capsys):
+    rc, out = run_lint(capsys, "--algorithms", "e-cube-mesh")
+    assert rc == 0
+    assert "e-cube-mesh" in out and "definitely-free" in out
+
+
+def test_error_finding_exits_one(capsys):
+    rc, out = run_lint(capsys, "--algorithms", "relaxed-efa")
+    assert rc == 1
+    assert "RT201" in out
+
+
+def test_fail_on_never_reports_but_exits_zero(capsys):
+    rc, out = run_lint(capsys, "--algorithms", "relaxed-efa", "--fail-on", "never")
+    assert rc == 0
+    assert "RT201" in out
+
+
+def test_fail_on_info_tightens_threshold(capsys):
+    # ring-figure4 has only info/warning findings: clean under the default
+    # threshold, failing under --fail-on info
+    rc, _ = run_lint(capsys, "--algorithms", "ring-figure4")
+    assert rc == 0
+    rc, _ = run_lint(capsys, "--algorithms", "ring-figure4", "--fail-on", "info")
+    assert rc == 1
+
+
+def test_unknown_algorithm_is_a_usage_error():
+    with pytest.raises(SystemExit):
+        main(["lint", "--algorithms", "definitely-not-real"])
+
+
+def test_unknown_rule_token_is_a_usage_error():
+    with pytest.raises(SystemExit):
+        main(["lint", "--algorithms", "e-cube-mesh", "--disable", "XX999"])
+
+
+def test_disable_rule_drops_its_findings(capsys):
+    rc, out = run_lint(capsys, "--algorithms", "relaxed-efa",
+                       "--disable", "RT201")
+    assert rc == 0
+    assert "RT201" not in out
+
+
+# ----------------------------------------------------------------------
+# baseline workflow
+# ----------------------------------------------------------------------
+def test_write_then_apply_baseline(tmp_path, capsys):
+    base = tmp_path / "base.json"
+    rc, out = run_lint(capsys, "--algorithms", "relaxed-efa",
+                       "--write-baseline", str(base))
+    assert rc == 0 and "wrote" in out
+    doc = json.loads(base.read_text())
+    assert doc["format"] == 1 and doc["suppressions"]
+    rc, out = run_lint(capsys, "--algorithms", "relaxed-efa",
+                       "--baseline", str(base), "--fail-on", "info")
+    assert rc == 0
+    assert "baseline-suppressed" in out
+
+
+def test_committed_baseline_keeps_catalog_clean(capsys):
+    rc, _ = run_lint(capsys, "--baseline", str(REPO / "lint-baseline.json"),
+                     "--fail-on", "info")
+    assert rc == 0
+
+
+def test_corrupt_baseline_is_a_usage_error(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"format": 99, "suppressions": {}}')
+    with pytest.raises(SystemExit):
+        main(["lint", "--algorithms", "e-cube-mesh", "--baseline", str(bad)])
+
+
+# ----------------------------------------------------------------------
+# case files and corpus directories
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def case_file(tmp_path):
+    net = build_topology("mesh", (3, 3), 1)
+    case = TableCase.materialize(make("e-cube-mesh", net))
+    path = tmp_path / "ecube33.json"
+    path.write_text(json.dumps(case.to_json()))
+    return path
+
+
+def test_lint_single_case_file(case_file, capsys):
+    rc, out = run_lint(capsys, "--case", str(case_file))
+    assert rc == 0
+    assert "ecube33" in out
+
+
+def test_lint_corpus_directory(case_file, capsys):
+    rc, out = run_lint(capsys, "--corpus", str(case_file.parent))
+    assert rc == 0
+    assert "1 targets analyzed" in out
+
+
+def test_broken_case_file_exits_two(tmp_path, capsys):
+    bad = tmp_path / "broken.json"
+    bad.write_text('{"not": "a case"}')
+    rc, out = run_lint(capsys, "--case", str(bad))
+    assert rc == 2
+    assert "ANALYSIS FAILED" in out
+
+
+def test_empty_corpus_is_a_usage_error(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["lint", "--corpus", str(tmp_path)])
+
+
+# ----------------------------------------------------------------------
+# output formats
+# ----------------------------------------------------------------------
+def test_json_format_parses_and_counts(capsys):
+    rc, out = run_lint(capsys, "--algorithms", "relaxed-efa", "--format", "json")
+    assert rc == 1
+    doc = json.loads(out)
+    assert doc["summary"]["targets"] == 1
+    assert doc["summary"]["errors"] == 1
+
+
+def test_sarif_format_and_output_file(tmp_path, capsys):
+    out_path = tmp_path / "lint.sarif"
+    rc, out = run_lint(capsys, "--algorithms", "ring-figure4",
+                       "--format", "sarif", "--output", str(out_path))
+    assert rc == 0 and "wrote sarif report" in out
+    doc = json.loads(out_path.read_text())
+    assert doc["version"] == "2.1.0"
+    assert doc["runs"][0]["tool"]["driver"]["name"] == "repro-lint"
+
+
+def test_sarif_bytes_identical_across_hash_seeds(tmp_path):
+    """Two processes with different PYTHONHASHSEEDs must emit the same bytes."""
+    outs = []
+    for seed in ("0", "31337"):
+        path = tmp_path / f"seed{seed}.sarif"
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint",
+             "--algorithms", "ring-figure4,relaxed-efa,incoherent-example",
+             "--format", "sarif", "--output", str(path), "--fail-on", "never"],
+            env={"PYTHONPATH": str(REPO / "src"), "PYTHONHASHSEED": seed},
+            capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        outs.append(path.read_bytes())
+    assert outs[0] == outs[1]

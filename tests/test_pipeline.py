@@ -62,7 +62,10 @@ def test_serial_batch_matches_direct_verify(serial_report):
         assert r.deadlock_free == direct.deadlock_free, j.spec.describe()
         assert r.necessary_and_sufficient == direct.necessary_and_sufficient
         assert r.condition == direct.condition
-        assert r.reason == direct.reason
+        if r.evidence.get("triage") != "scc-condensation":
+            # triage reproduces the checker's early-path verdicts verbatim;
+            # only forced-cycle refutations carry their own witness cycle
+            assert r.reason == direct.reason
 
 
 def test_parallel_matches_serial(specs, serial_report, tmp_path):

@@ -100,6 +100,28 @@ class TestNegativeFixtures:
         v = verify(UnrestrictedMinimal(mesh33))
         assert not v.deadlock_free and v.condition == "Theorem 3"
 
+    def test_spanning_message_deadlock_not_certified(self):
+        """Regression for the fuzz-found Theorem 3 soundness hole.
+
+        The shipped reproducer (``corpus/real-29bbf8ee95a6.json``) deadlocks
+        under wait-on-any with two messages each spanning two channels of
+        the cycle; every single-message CWG cycle is breakable, so the
+        Section 8 edge reduction certifies a CWG' whose wait-connectivity
+        test only protects immediate wait edges.  The theorem checker must
+        never claim freedom here -- the deadlock survives because both
+        messages already *acquired* the channels whose edges were removed.
+        """
+        import json
+        from pathlib import Path
+
+        from repro.fuzz.corpus import CorpusEntry
+
+        path = Path(__file__).resolve().parents[1] / "corpus" / "real-29bbf8ee95a6.json"
+        entry = CorpusEntry.from_json(json.loads(path.read_text()))
+        v = verify(entry.table.build())
+        # the any-wait blocked-configuration search settles it authoritatively
+        assert not v.deadlock_free and v.necessary_and_sufficient
+
     def test_unrestricted_wait_specific(self, mesh33):
         v = verify(UnrestrictedMinimal(mesh33, wait_any=False))
         assert not v.deadlock_free and v.condition == "Theorem 2"
