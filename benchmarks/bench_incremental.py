@@ -1,0 +1,128 @@
+"""Cold rebuild vs incremental re-verification across the catalog.
+
+The service scenario: one long-lived session per algorithm absorbing a
+stream of reconfiguration events -- a link flapping twice (down, up, down,
+up) and a routing-table edit applied and reverted twice -- with a shared
+content-addressed verdict store, exactly how ``python -m repro serve``
+deploys the engine.  For every event we time the incremental ``reverify``
+*and* an honest cold ``full_check`` of the same mutated relation (fresh
+overlay, fresh transition cache, no verdict store), assert the two digests
+are bit-identical, and report the per-algorithm and aggregate speedups.
+
+The aggregate (sum of cold seconds over sum of incremental seconds) is the
+acceptance bar: >= 10x.  The result lands in ``BENCH_checker.json`` under
+the ``incremental_vs_cold`` key, next to the auto-recorded wall times.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.incremental import (
+    IncrementalSession,
+    default_fault_pair,
+    default_table_edit,
+)
+from repro.pipeline import VerificationCache, catalog_spec
+from repro.routing import CATALOG
+
+SNAPSHOT = Path(__file__).resolve().parent / "BENCH_checker.json"
+
+#: flap cycles per scenario -- repeats revisit known fingerprints, which is
+#: what the verdict store is for (faults in real fabrics flap, they don't
+#: strike exactly once)
+CYCLES = 3
+
+#: service-scale topologies (bigger than the smoke dims: the engine's whole
+#: point is that cold-rebuild cost grows much faster than delta cost)
+DIMS = {"mesh_dims": (5, 5), "torus_dims": (6, 6), "hypercube_dim": 4}
+
+
+def _episode(name: str, cache: VerificationCache) -> dict | None:
+    """One algorithm's event stream; returns timings or None if the
+    catalog entry admits neither scenario."""
+    session = IncrementalSession(spec=catalog_spec(name, **DIMS), cache=cache,
+                                 triage=True)
+    session.baseline()  # session warm-up is amortized state, not per-event cost
+
+    events = []
+    try:
+        down, up = default_fault_pair(session)
+        events += [down, up] * CYCLES
+    except ValueError:
+        pass
+    try:
+        edit, revert = default_table_edit(session)
+        events += [edit, revert] * CYCLES
+    except ValueError:
+        pass
+    if not events:
+        return None
+
+    inc = cold = 0.0
+    for delta in events:
+        t0 = time.perf_counter()
+        result = session.reverify(delta)
+        inc += time.perf_counter() - t0
+        full = session.full_check()
+        cold += full.seconds
+        assert result.digest == full.digest, f"{name}: diverged after {delta!r}"
+    return {
+        "events": len(events),
+        "cold_seconds": round(cold, 3),
+        "incremental_seconds": round(inc, 3),
+        "speedup": round(cold / inc, 1) if inc > 0 else None,
+    }
+
+
+def _record(summary: dict) -> None:
+    try:
+        data = json.loads(SNAPSHOT.read_text())
+    except (OSError, ValueError):
+        data = {}
+    data["incremental_vs_cold"] = summary
+    SNAPSHOT.write_text(json.dumps(dict(sorted(data.items())), indent=2) + "\n")
+
+
+def test_incremental_flap_sweep(benchmark, once, table):
+    cache = VerificationCache(max_entries=1024)
+    rows: dict[str, dict] = {}
+
+    def sweep():
+        for name in sorted(CATALOG):
+            episode = _episode(name, cache)
+            if episode is not None:
+                rows[name] = episode
+
+    once(benchmark, sweep)
+
+    cold = sum(r["cold_seconds"] for r in rows.values())
+    inc = sum(r["incremental_seconds"] for r in rows.values())
+    aggregate = cold / inc
+    table(
+        "incremental re-verification vs cold rebuild (flap episodes)",
+        ["algorithm", "events", "cold s", "incremental s", "speedup"],
+        [
+            (n, r["events"], r["cold_seconds"], r["incremental_seconds"],
+             f"x{r['speedup']}")
+            for n, r in sorted(rows.items())
+        ]
+        + [("TOTAL", sum(r["events"] for r in rows.values()),
+            round(cold, 3), round(inc, 3), f"x{aggregate:.1f}")],
+    )
+    print(f"verdict store: {cache.stats()}")
+
+    _record({
+        "algorithms": len(rows),
+        "events": sum(r["events"] for r in rows.values()),
+        "cold_seconds": round(cold, 3),
+        "incremental_seconds": round(inc, 3),
+        "aggregate_speedup": round(aggregate, 1),
+        "store_hit_rate": round(cache.hit_rate, 3),
+        "per_algorithm": rows,
+    })
+    assert aggregate >= 10.0, (
+        f"incremental sweep only x{aggregate:.1f} vs cold (need >= 10x)"
+    )

@@ -13,6 +13,10 @@ Subcommands
 ``simulate``      run the wormhole simulator and print a latency/throughput row;
 ``sim-sweep``     fan a simulation grid across a process pool;
 ``fuzz``          differential-fuzz the verifier stack (or replay the corpus);
+``reverify``      apply deltas (link faults/repairs, table edits, VC adds) to an
+                  algorithm and incrementally re-verify after each one;
+``serve``         boot the sharded re-verification service and run a burst of
+                  link-flap jobs against it (the CI smoke mode);
 ``regen-golden``  rebuild the simulator golden-digest fixture (needs ``--force``).
 
 Examples::
@@ -28,6 +32,10 @@ Examples::
         --patterns uniform,transpose --rates 0.1,0.2,0.3 --seeds 3,5 --jobs 4
     python -m repro fuzz --seed 42 --cases 200 --corpus-dir corpus
     python -m repro fuzz --replay-corpus corpus
+    python -m repro reverify --algorithm west-first \
+        --delta down:0>1@0 --delta up:0>1@0 --compare-full
+    python -m repro serve --algorithms all --events 40 --workers 2 \
+        --sample 0.2 --expect-hit-rate 0.3
     python -m repro regen-golden --force
 """
 
@@ -388,6 +396,101 @@ def cmd_fuzz(args) -> int:
     return 0 if report.clean else 1
 
 
+def cmd_reverify(args) -> int:
+    from .incremental import IncrementalSession, parse_delta
+    from .pipeline import JobSpec
+
+    if args.vcs is None:
+        args.vcs = _default_vcs(args.algorithm)
+    dims = _parse_dims(args.dims, "--dims") if args.dims else None
+    spec = JobSpec(algorithm=args.algorithm, topology=args.topology,
+                   dims=dims, vcs=args.vcs)
+    try:
+        deltas = [parse_delta(text) for text in (args.delta or [])]
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    try:
+        session = IncrementalSession(spec=spec, triage=not args.no_triage)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    result = session.baseline()
+    print(result.describe())
+    mismatches = 0
+    for delta in deltas:
+        try:
+            result = session.reverify(delta)
+        except ValueError as exc:
+            raise SystemExit(f"cannot apply {delta}: {exc}") from None
+        print(result.describe())
+        if args.compare_full:
+            full = session.full_check()
+            same = full.digest == result.digest
+            mismatches += not same
+            print(f"  full rebuild: digest {'matches' if same else 'MISMATCH'} "
+                  f"({full.seconds:.3f}s cold vs {result.seconds:.3f}s incremental)")
+    if mismatches:
+        print(f"{mismatches} incremental verdict(s) diverged from full rebuilds")
+        return 1
+    # like cmd_verify: the authoritative theorem verdict decides the exit
+    # code (sufficient-only conditions cannot refute adaptive algorithms)
+    final = result.verdicts.get("theorem")
+    free = final.deadlock_free if final is not None else result.deadlock_free
+    return 0 if free else 1
+
+
+def cmd_serve(args) -> int:
+    import random
+
+    from .incremental import LinkDown, LinkUp
+    from .pipeline import build_topology, catalog_specs
+    from .serve import ReverifyJob, VerificationService
+
+    names = sorted(CATALOG)
+    if args.algorithms and args.algorithms != "all":
+        names = [n.strip() for n in args.algorithms.split(",") if n.strip()]
+        unknown = [n for n in names if n not in CATALOG]
+        if unknown:
+            raise SystemExit(f"unknown algorithms {unknown}; see `python -m repro catalog`")
+    specs = catalog_specs(
+        names,
+        mesh_dims=_parse_dims(args.mesh_dims, "--mesh-dims"),
+        torus_dims=_parse_dims(args.torus_dims, "--torus-dims"),
+        hypercube_dim=args.hypercube_dim,
+    )
+    # A deterministic link-flap event stream: each target flaps one randomly
+    # chosen link channel, so repaired states revisit known fingerprints and
+    # the content-addressed cache must show hits.
+    rng = random.Random(args.seed)
+    flap_link: dict[str, tuple[int, int, int]] = {}
+    is_down: dict[str, bool] = {}
+    for spec in specs:
+        net = build_topology(spec.topology, spec.dims, spec.vcs)
+        c = rng.choice(net.link_channels)
+        flap_link[spec.algorithm] = (c.src, c.dst, c.vc)
+        is_down[spec.algorithm] = False
+    jobs = []
+    for job_id in range(args.events):
+        target = rng.choice(names)
+        src, dst, vc = flap_link[target]
+        delta = LinkUp(src, dst, vc) if is_down[target] else LinkDown(src, dst, vc)
+        is_down[target] = not is_down[target]
+        jobs.append(ReverifyJob(job_id, target, delta))
+    service = VerificationService(
+        specs, workers=args.workers, verify_sample=args.sample,
+    )
+    report = service.run_burst(jobs)
+    print(report.describe())
+    lat = report.metrics.get("observations", {}).get("serve_latency_seconds")
+    if lat:
+        print(f"  latency mean={lat['mean']:.4f}s min={lat['min']:.4f}s "
+              f"max={lat['max']:.4f}s over {int(lat['count'])} jobs")
+    ok = report.ok(min_hit_rate=args.expect_hit_rate)
+    if not ok and report.hit_rate < args.expect_hit_rate:
+        print(f"  hit rate {report.hit_rate:.3f} below required "
+              f"{args.expect_hit_rate:.3f}")
+    return 0 if ok else 1
+
+
 def cmd_regen_golden(args) -> int:
     import importlib
     import json
@@ -577,6 +680,38 @@ def main(argv: list[str] | None = None) -> int:
     pf.add_argument("--replay-corpus", default=None, metavar="DIR",
                     help="replay a corpus directory instead of generating cases")
 
+    pi = sub.add_parser(
+        "reverify",
+        help="apply deltas to an algorithm and incrementally re-verify each one",
+    )
+    common(pi)
+    pi.add_argument("--delta", action="append", default=None, metavar="DELTA",
+                    help="compact delta, repeatable: down:SRC>DST@VC, up:SRC>DST@VC, "
+                         "edit:KEY=CIDS[|WAITS] (edit:KEY clears), vc:+N")
+    pi.add_argument("--compare-full", action="store_true",
+                    help="audit every incremental verdict against a cold full rebuild")
+    pi.add_argument("--no-triage", action="store_true",
+                    help="skip the static triage screens; always run the full theorem check")
+
+    pe = sub.add_parser(
+        "serve",
+        help="boot the sharded re-verification service on a burst of flap jobs",
+    )
+    pe.add_argument("--algorithms", default="all",
+                    help="comma-separated catalog names (default: the whole catalog)")
+    pe.add_argument("--events", type=int, default=40,
+                    help="number of link-flap jobs to enqueue")
+    pe.add_argument("--workers", type=int, default=2, help="asyncio shard workers")
+    pe.add_argument("--seed", type=int, default=0, help="event-stream RNG seed")
+    pe.add_argument("--sample", type=float, default=0.1,
+                    help="fraction of jobs audited against a cold full rebuild")
+    pe.add_argument("--expect-hit-rate", type=float, default=0.0,
+                    help="fail unless the cache hit rate reaches this fraction")
+    pe.add_argument("--mesh-dims", default="3,3", help="dims for mesh targets")
+    pe.add_argument("--torus-dims", default="4,4", help="dims for torus targets")
+    pe.add_argument("--hypercube-dim", type=int, default=3,
+                    help="dimension for hypercube targets")
+
     pr = sub.add_parser(
         "regen-golden",
         help="rebuild tests/fixtures/sim_golden_digests.json (needs --force)",
@@ -591,7 +726,7 @@ def main(argv: list[str] | None = None) -> int:
                     help="alternate fixture path (default: the tests/ fixture)")
 
     args = parser.parse_args(argv)
-    needs_topology = ("verify", "dot", "graph-stats", "simulate")
+    needs_topology = ("verify", "dot", "graph-stats", "simulate", "reverify")
     if args.command in needs_topology and args.topology is None:
         args.topology = CATALOG[args.algorithm].topology
     return {
@@ -604,6 +739,8 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": cmd_simulate,
         "sim-sweep": cmd_sim_sweep,
         "fuzz": cmd_fuzz,
+        "reverify": cmd_reverify,
+        "serve": cmd_serve,
         "regen-golden": cmd_regen_golden,
     }[args.command](args)
 

@@ -95,6 +95,27 @@ class ChannelWaitingGraph:
         self._edge_dests = None
         return self
 
+    @classmethod
+    def from_depgraph(
+        cls,
+        algorithm: RoutingAlgorithm,
+        dep: DepGraph,
+        *,
+        transitions: TransitionCache | None = None,
+    ) -> ChannelWaitingGraph:
+        """Wrap an already-assembled kernel (the incremental engine's seam).
+
+        ``dep`` must be the CWG kernel of exactly this ``algorithm`` -- the
+        incremental session maintains it delta-by-delta and proves the
+        equivalence by digest against a cold build.
+        """
+        self = cls.__new__(cls)
+        self.algorithm = algorithm
+        self.transitions = transitions or TransitionCache(algorithm)
+        self.dep = dep
+        self._edge_dests = None
+        return self
+
     # ------------------------------------------------------------------
     @property
     def vertices(self) -> list[Channel]:

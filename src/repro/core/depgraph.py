@@ -317,6 +317,70 @@ class DepGraph:
             self._scc = tarjan_scc(self.num_vertices, self.indptr, self.indices)
         return self._scc
 
+    def refresh_scc_from(self, old: "DepGraph", touched: Iterable[int]) -> dict[str, int]:
+        """Delta-aware Tarjan refresh against the predecessor graph ``old``.
+
+        Tarjan labels depend only on the CSR structure (``indptr`` /
+        ``indices``, never the payload masks), so a payload-only delta
+        transfers the old decomposition verbatim -- no Tarjan runs at all.
+        A structural delta recomputes the canonical decomposition (witness
+        extraction must stay bit-identical to a cold build, so labels are
+        never stitched together incrementally) but bounds its blast radius
+        with the dirty-SCC frontier: :func:`dirty_components` over ``old``
+        and ``touched`` (the endpoints of every added or removed edge) names
+        the only components whose membership may change, every other
+        component is checked to survive with its exact membership, and the
+        frontier sizes are returned for observability.  ``touched`` from a
+        delta that was *not* actually applied makes the frontier unsound --
+        the returned ``scc_frontier_violations`` counter (0 in any correct
+        run) is the tripwire the differential tests pin.
+        """
+        stats = {
+            "scc_transferred": 0,
+            "scc_dirty_components": 0,
+            "scc_dirty_vertices": 0,
+            "scc_reused_components": 0,
+            "scc_frontier_violations": 0,
+        }
+        if (
+            old.num_vertices == self.num_vertices
+            and old.indptr == self.indptr
+            and old.indices == self.indices
+        ):
+            self._scc = old.scc()
+            stats["scc_transferred"] = 1
+            stats["scc_reused_components"] = self._scc[1]
+            return stats
+        if old.num_vertices != self.num_vertices:
+            _, ncomp = self.scc()
+            stats["scc_dirty_components"] = ncomp
+            stats["scc_dirty_vertices"] = self.num_vertices
+            return stats
+        dirty = dirty_components(old, touched)
+        old_labels, old_ncomp = old.scc()
+        new_labels, new_ncomp = self.scc()
+        old_sizes = [0] * old_ncomp
+        new_sizes = [0] * new_ncomp
+        for v in range(self.num_vertices):
+            old_sizes[old_labels[v]] += 1
+            new_sizes[new_labels[v]] += 1
+        # Differential guard: a component outside the frontier must map
+        # one-to-one onto a new component with identical membership.
+        image: dict[int, int] = {}
+        violations = 0
+        for v in range(self.num_vertices):
+            lo = old_labels[v]
+            if lo in dirty:
+                continue
+            ln = image.setdefault(lo, new_labels[v])
+            if ln != new_labels[v] or new_sizes[ln] != old_sizes[lo]:
+                violations += 1
+        stats["scc_dirty_components"] = len(dirty)
+        stats["scc_dirty_vertices"] = sum(old_sizes[c] for c in dirty)
+        stats["scc_reused_components"] = old_ncomp - len(dirty)
+        stats["scc_frontier_violations"] = violations
+        return stats
+
     def _self_loops(self) -> list[int]:
         indptr, indices = self.indptr, self.indices
         return [
@@ -453,3 +517,46 @@ class DepGraph:
             f"<DepGraph {self.num_vertices} vertices, {self.num_edges} edges, "
             f"{'acyclic' if self.is_acyclic() else 'cyclic'}>"
         )
+
+
+def dirty_components(dep: DepGraph, touched: Iterable[int]) -> set[int]:
+    """Condensation labels of ``dep`` whose SCC membership a delta may change.
+
+    ``touched`` holds the endpoints of every edge a structural delta adds to
+    or removes from ``dep`` (the *old* graph).  A vertex changes component
+    only through a cycle that uses an added edge or an old cycle broken by a
+    removed edge; in both cases every affected old component lies on a path
+    segment between touched vertices, so it both *reaches* a touched
+    component and is *reachable from* one in the old condensation.  The
+    dirty frontier is therefore the intersection of the forward and backward
+    condensation closures of the touched components; everything outside it
+    keeps its membership verbatim (which
+    :meth:`DepGraph.refresh_scc_from` verifies differentially).
+    """
+    labels, ncomp = dep.scc()
+    seeds = {labels[v] for v in touched if 0 <= v < dep.num_vertices}
+    if not seeds:
+        return set()
+    fwd: list[set[int]] = [set() for _ in range(ncomp)]
+    rev: list[set[int]] = [set() for _ in range(ncomp)]
+    indptr, indices = dep.indptr, dep.indices
+    for u in range(dep.num_vertices):
+        lu = labels[u]
+        for i in range(indptr[u], indptr[u + 1]):
+            lv = labels[indices[i]]
+            if lv != lu:
+                fwd[lu].add(lv)
+                rev[lv].add(lu)
+
+    def closure(adj: list[set[int]]) -> set[int]:
+        seen = set(seeds)
+        stack = list(seeds)
+        while stack:
+            comp = stack.pop()
+            for nxt in adj[comp]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen
+
+    return closure(fwd) & closure(rev)

@@ -178,6 +178,20 @@ class TransitionCache:
             dt = self._cache[dest] = DestinationTransitions(self.algorithm, dest)
         return dt
 
+    def peek(self, dest: int) -> DestinationTransitions | None:
+        """The cached transitions for ``dest``, or ``None`` -- never builds."""
+        return self._cache.get(dest)
+
+    def store(self, dest: int, dt: DestinationTransitions) -> None:
+        """Install externally built transitions (the incremental engine's
+        seam: it rebuilds dirty destinations under a recorder and hands the
+        result back so subsequent lookups reuse it)."""
+        self._cache[dest] = dt
+
+    def invalidate(self, dest: int) -> None:
+        """Drop the cached transitions for ``dest`` (no-op when absent)."""
+        self._cache.pop(dest, None)
+
     def all_destinations(self) -> Iterator[DestinationTransitions]:
         """Iterate transitions for every node as destination."""
         for dest in self.algorithm.network.nodes:

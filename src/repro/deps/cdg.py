@@ -88,6 +88,23 @@ class ChannelDependencyGraph:
         self._edge_dests = None
         return self
 
+    @classmethod
+    def from_depgraph(
+        cls,
+        algorithm: RoutingAlgorithm,
+        dep: DepGraph,
+        *,
+        transitions: TransitionCache | None = None,
+    ) -> "ChannelDependencyGraph":
+        """Wrap an already-assembled kernel (the incremental engine's seam);
+        ``dep`` must be the CDG kernel of exactly this ``algorithm``."""
+        self = cls.__new__(cls)
+        self.algorithm = algorithm
+        self.transitions = transitions or TransitionCache(algorithm)
+        self.dep = dep
+        self._edge_dests = None
+        return self
+
     @property
     def vertices(self) -> list[Channel]:
         return self.algorithm.network.link_channels

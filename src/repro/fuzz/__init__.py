@@ -34,6 +34,7 @@ from .oracles import (
     OracleReport,
     OracleStack,
     REAL_STACK,
+    check_incremental,
     focus,
     run_stack,
 )
@@ -79,6 +80,7 @@ __all__ = [
     "TableRouting",
     "build_case",
     "case_stream",
+    "check_incremental",
     "discrepancy_predicate",
     "focus",
     "fuzz_table",

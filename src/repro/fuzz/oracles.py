@@ -28,7 +28,15 @@ duato (ECDG search)    deadlock_free   never (search is incomplete)
 dally-seitz (CDG)      deadlock_free   never (necessity unsound for
                                        waiting-channel regimes: Figure 4)
 sim (adversarial)      never           deadlock detector fired
+incremental            never           never (self-checking: see below)
 =====================  ==============  ==================================
+
+The ``incremental`` checker is metamorphic in a different sense: it claims
+nothing about deadlock freedom, but re-verifies the case through an
+incremental session after a battery of deltas and compares each verdict
+digest against a cold full rebuild.  Any difference is reported as an
+``incremental-divergence`` discrepancy -- the two paths compute the same
+question, so agreement is an invariant, not an implication.
 
 One extra cross-check rides along: for SPECIFIC-waiting relations the
 enumerate-then-classify Theorem 2 and the segment-chain-search Theorem 2
@@ -70,6 +78,10 @@ class CheckerResult:
     claims_deadlock: bool
     detail: str = ""
     error: str | None = None
+    #: set when a self-checking oracle (the incremental checker) caught its
+    #: two computation paths disagreeing -- a discrepancy in itself, without
+    #: reference to any other checker's claims
+    divergence: str | None = None
 
     def to_json(self) -> dict[str, Any]:
         return {
@@ -81,6 +93,7 @@ class CheckerResult:
             "claims_deadlock": self.claims_deadlock,
             "detail": self.detail,
             "error": self.error,
+            "divergence": self.divergence,
         }
 
 
@@ -186,6 +199,57 @@ def check_simulator(algorithm: RoutingAlgorithm) -> CheckerResult:
     )
 
 
+def check_incremental(algorithm: RoutingAlgorithm, *, stale_scc: bool = False) -> CheckerResult:
+    """Metamorphic incremental-vs-full oracle over a small delta battery.
+
+    Wraps the case in an :class:`~repro.incremental.session.IncrementalSession`,
+    applies the session's default fault pair and table edit (skipping
+    whichever the relation cannot express), and after every step compares
+    the incremental verdict digest against a cold full rebuild.  Any
+    difference is a ``divergence`` -- an implication-free discrepancy in its
+    own right, since the two paths compute the *same* question.
+    """
+    from ..incremental.deltas import format_delta
+    from ..incremental.session import (
+        IncrementalSession,
+        default_fault_pair,
+        default_table_edit,
+    )
+
+    session = IncrementalSession(algorithm, stale_scc=stale_scc)
+    deltas: list[Any] = [None]
+    try:
+        down, up = default_fault_pair(session)
+        deltas += [down, up]
+    except ValueError:
+        pass
+    try:
+        edit, revert = default_table_edit(session)
+        deltas += [edit, revert]
+    except ValueError:
+        pass
+    divergence = None
+    deadlock_free = None
+    compared = 0
+    for delta in deltas:
+        result = session.check() if delta is None else session.reverify(delta)
+        deadlock_free = result.deadlock_free
+        full = session.full_check()
+        compared += 1
+        if full.digest != result.digest:
+            step = format_delta(delta) if delta is not None else "baseline"
+            divergence = (f"after {step}: incremental digest {result.digest[:12]} "
+                          f"!= full-rebuild digest {full.digest[:12]}")
+            break
+    detail = divergence or f"{compared} incremental verdicts matched full rebuilds"
+    return CheckerResult(
+        checker="incremental", condition="incremental-equivalence",
+        deadlock_free=deadlock_free, authoritative=False,
+        claims_free=False, claims_deadlock=False,
+        detail=detail, divergence=divergence,
+    )
+
+
 @dataclass(frozen=True)
 class Checker:
     """A named oracle: callable(algorithm) -> CheckerResult | None."""
@@ -201,6 +265,7 @@ REAL_CHECKERS: tuple[Checker, ...] = (
     Checker("duato", check_duato),
     Checker("dally-seitz", check_dally_seitz),
     Checker("sim", check_simulator),
+    Checker("incremental", check_incremental),
 )
 
 
@@ -238,6 +303,7 @@ class Discrepancy:
     """A violated implication between two checkers on one case."""
 
     kind: str          # "free-vs-deadlock" | "authoritative-disagreement"
+                       # | "incremental-divergence"
     free_checker: str
     deadlock_checker: str
     detail: str = ""
@@ -299,6 +365,17 @@ def run_stack(algorithm: RoutingAlgorithm, stack: OracleStack = REAL_STACK) -> O
             result = _errored(checker.name, exc)
         if result is not None:
             report.results.append(result)
+
+    # Self-checking oracles carry their own discrepancy: the incremental
+    # checker's two computation paths answered the same question differently.
+    for r in report.results:
+        if r.divergence:
+            report.discrepancies.append(Discrepancy(
+                kind="incremental-divergence",
+                free_checker=r.checker,
+                deadlock_checker=r.checker,
+                detail=r.divergence,
+            ))
 
     free = [r for r in report.results if r.claims_free]
     dead = [r for r in report.results if r.claims_deadlock]

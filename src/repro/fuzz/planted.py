@@ -27,6 +27,14 @@ Variants
     misses).  Duato applicability (coherent, minimal-path ``R(n,d)``) makes
     this one hard to trip generatively; it is pinned by unit tests showing
     it is observably weaker than the real builder.
+``incremental-stale-scc``
+    Runs the incremental-vs-full oracle with the session's dirty-frontier
+    expansion disabled (``stale_scc=True``): link faults and repairs no
+    longer invalidate the destinations whose recorded footprints touched
+    the channel, so the session keeps answering from stale transition
+    tables and dependency graphs.  The oracle's full-rebuild comparison
+    must catch the divergence -- proving the campaign would fire on a real
+    invalidation bug in the incremental engine.
 """
 
 from __future__ import annotations
@@ -105,9 +113,16 @@ def _broken_duato(algorithm: RoutingAlgorithm) -> CheckerResult:
     return result_from_verdict("duato", verdict, claims_deadlock=False)
 
 
+def _broken_incremental(algorithm: RoutingAlgorithm) -> CheckerResult:
+    from .oracles import check_incremental
+
+    return check_incremental(algorithm, stale_scc=True)
+
+
 _REPLACEMENTS: dict[str, Checker] = {
     "cwg-immediate": Checker("theorem", _broken_theorem),
     "duato-no-indirect": Checker("duato", _broken_duato),
+    "incremental-stale-scc": Checker("incremental", _broken_incremental),
 }
 
 PLANTED_VARIANTS = tuple(_REPLACEMENTS)

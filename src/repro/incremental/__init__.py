@@ -1,0 +1,54 @@
+"""Incremental re-verification: deltas, overlays, and stateful sessions.
+
+The paper's verifiers decide one frozen ``(network, relation)`` pair; this
+package keeps a *changing* pair continuously verified.  A
+:class:`~repro.incremental.session.IncrementalSession` holds the relation
+behind an :class:`~repro.incremental.overlay.OverlayRouting` view, applies
+:mod:`~repro.incremental.deltas` (link faults and repairs, table-cell
+edits, virtual-channel additions), and re-runs the theorem, Duato, and
+Dally--Seitz checkers rebuilding only what each delta's recorded footprint
+touches -- with a hard contract that every verdict is bit-identical to a
+cold full rebuild (:meth:`IncrementalSession.full_check`), which the
+metamorphic test battery and the fuzz campaign's incremental oracle pin.
+"""
+
+from .deltas import (
+    Delta,
+    LinkDown,
+    LinkUp,
+    TableEdit,
+    VcAdd,
+    delta_from_json,
+    delta_to_json,
+    format_delta,
+    parse_delta,
+    parse_table_key,
+)
+from .overlay import OverlayRouting, RouteRecorder
+from .session import (
+    FullCheckResult,
+    IncrementalSession,
+    ReverifyResult,
+    default_fault_pair,
+    default_table_edit,
+)
+
+__all__ = [
+    "Delta",
+    "FullCheckResult",
+    "IncrementalSession",
+    "LinkDown",
+    "LinkUp",
+    "OverlayRouting",
+    "ReverifyResult",
+    "RouteRecorder",
+    "TableEdit",
+    "VcAdd",
+    "default_fault_pair",
+    "default_table_edit",
+    "delta_from_json",
+    "delta_to_json",
+    "format_delta",
+    "parse_delta",
+    "parse_table_key",
+]

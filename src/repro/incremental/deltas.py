@@ -1,0 +1,191 @@
+"""The delta model: reconfiguration events over a network + routing relation.
+
+The serving story ("is this reconfiguration still deadlock-free?") needs a
+vocabulary for *what changed* that is small enough to reason about and rich
+enough to cover the fault-injection scenarios the simulator already
+exercises: a link (virtual channel) failing and being repaired, a single
+routing-table entry being edited, and a virtual-channel class being added.
+
+Deltas are plain frozen data -- identified by stable coordinates, never by
+live objects -- so they serialize (JSON and a compact one-line string form),
+replay deterministically, and survive the channel-id renumbering a
+:class:`VcAdd` implies:
+
+* :class:`LinkDown` / :class:`LinkUp` name a link channel by its
+  ``(src, dst, vc)`` triple, which is stable across rebuilds;
+* :class:`TableEdit` names a routing-table cell by the same key grammar the
+  fuzz subsystem's :class:`~repro.fuzz.table.TableCase` uses --
+  ``n{node}->{dest}`` for ND-form relations, ``c{cid}->{dest}`` /
+  ``i{node}->{dest}`` for CND-form -- with the new route set as channel ids
+  (``routes=None`` clears the override, restoring the base relation);
+* :class:`VcAdd` grows every physical link by ``count`` virtual channels
+  (a build parameter, so it forces a session rebuild).
+
+The semantics live in :mod:`repro.incremental.overlay` (what a delta does to
+the relation) and :mod:`repro.incremental.session` (what it invalidates).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Union
+
+
+@dataclass(frozen=True)
+class LinkDown:
+    """Link channel ``(src, dst, vc)`` fails: removed from every route set."""
+
+    src: int
+    dst: int
+    vc: int = 0
+
+    kind = "link-down"
+
+
+@dataclass(frozen=True)
+class LinkUp:
+    """Link channel ``(src, dst, vc)`` is repaired (inverse of LinkDown)."""
+
+    src: int
+    dst: int
+    vc: int = 0
+
+    kind = "link-up"
+
+
+@dataclass(frozen=True)
+class TableEdit:
+    """Override one routing-table cell (``routes=None`` clears the override).
+
+    ``key`` follows the TableCase grammar; ``routes`` are link-channel ids
+    that must leave the keyed node; ``waits`` (optional) must be a subset of
+    ``routes`` and defaults to the whole route set.
+    """
+
+    key: str
+    routes: tuple[int, ...] | None = None
+    waits: tuple[int, ...] | None = None
+
+    kind = "table-edit"
+
+
+@dataclass(frozen=True)
+class VcAdd:
+    """Add ``count`` virtual channels per physical link (session rebuild)."""
+
+    count: int = 1
+
+    kind = "vc-add"
+
+
+Delta = Union[LinkDown, LinkUp, TableEdit, VcAdd]
+
+#: key grammar shared with repro.fuzz.table: n{node}->{dest} (ND form),
+#: c{cid}->{dest} (CND, link input), i{node}->{dest} (CND, injection input)
+_KEY_RE = re.compile(r"^([nci])(\d+)->(\d+)$")
+
+
+def parse_table_key(key: str) -> tuple[str, int, int]:
+    """Split a table key into ``(tag, id, dest)``; raises ValueError when malformed."""
+    m = _KEY_RE.match(key)
+    if m is None:
+        raise ValueError(f"malformed table key {key!r} (expected n<node>-><dest>, "
+                         f"c<cid>-><dest>, or i<node>-><dest>)")
+    return m.group(1), int(m.group(2)), int(m.group(3))
+
+
+# ----------------------------------------------------------------------
+# JSON round trip
+# ----------------------------------------------------------------------
+def delta_to_json(delta: Delta) -> dict[str, Any]:
+    """JSON-safe payload; inverse of :func:`delta_from_json`."""
+    if isinstance(delta, (LinkDown, LinkUp)):
+        return {"kind": delta.kind, "src": delta.src, "dst": delta.dst, "vc": delta.vc}
+    if isinstance(delta, TableEdit):
+        out: dict[str, Any] = {"kind": delta.kind, "key": delta.key}
+        if delta.routes is not None:
+            out["routes"] = list(delta.routes)
+        if delta.waits is not None:
+            out["waits"] = list(delta.waits)
+        return out
+    if isinstance(delta, VcAdd):
+        return {"kind": delta.kind, "count": delta.count}
+    raise TypeError(f"not a delta: {delta!r}")
+
+
+def delta_from_json(payload: dict[str, Any]) -> Delta:
+    kind = payload.get("kind")
+    if kind == "link-down":
+        return LinkDown(int(payload["src"]), int(payload["dst"]), int(payload.get("vc", 0)))
+    if kind == "link-up":
+        return LinkUp(int(payload["src"]), int(payload["dst"]), int(payload.get("vc", 0)))
+    if kind == "table-edit":
+        routes = payload.get("routes")
+        waits = payload.get("waits")
+        return TableEdit(
+            str(payload["key"]),
+            routes=None if routes is None else tuple(int(r) for r in routes),
+            waits=None if waits is None else tuple(int(w) for w in waits),
+        )
+    if kind == "vc-add":
+        return VcAdd(int(payload.get("count", 1)))
+    raise ValueError(f"unknown delta kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# compact one-line form (the CLI's --delta grammar)
+# ----------------------------------------------------------------------
+def format_delta(delta: Delta) -> str:
+    """Compact string form; inverse of :func:`parse_delta`.
+
+    ``down:0>1@0`` / ``up:0>1@0`` / ``edit:n3->7=1,2|1`` (routes, optional
+    waits after ``|``; ``edit:n3->7`` clears) / ``vc:+1``.
+    """
+    if isinstance(delta, (LinkDown, LinkUp)):
+        tag = "down" if isinstance(delta, LinkDown) else "up"
+        return f"{tag}:{delta.src}>{delta.dst}@{delta.vc}"
+    if isinstance(delta, TableEdit):
+        if delta.routes is None:
+            return f"edit:{delta.key}"
+        text = f"edit:{delta.key}=" + ",".join(map(str, delta.routes))
+        if delta.waits is not None:
+            text += "|" + ",".join(map(str, delta.waits))
+        return text
+    if isinstance(delta, VcAdd):
+        return f"vc:+{delta.count}"
+    raise TypeError(f"not a delta: {delta!r}")
+
+
+def _parse_cids(text: str) -> tuple[int, ...]:
+    return tuple(int(p) for p in text.split(",") if p != "")
+
+
+def parse_delta(text: str) -> Delta:
+    """Parse the compact form produced by :func:`format_delta`."""
+    tag, sep, rest = text.partition(":")
+    if not sep:
+        raise ValueError(f"malformed delta {text!r} (expected '<kind>:...')")
+    if tag in ("down", "up"):
+        m = re.match(r"^(\d+)>(\d+)@(\d+)$", rest)
+        if m is None:
+            raise ValueError(f"malformed link delta {text!r} (expected '{tag}:SRC>DST@VC')")
+        cls = LinkDown if tag == "down" else LinkUp
+        return cls(int(m.group(1)), int(m.group(2)), int(m.group(3)))
+    if tag == "edit":
+        key, eq, spec = rest.partition("=")
+        parse_table_key(key)  # validate early, before a session sees it
+        if not eq:
+            return TableEdit(key)
+        routes_text, bar, waits_text = spec.partition("|")
+        return TableEdit(
+            key,
+            routes=_parse_cids(routes_text),
+            waits=_parse_cids(waits_text) if bar else None,
+        )
+    if tag == "vc":
+        m = re.match(r"^\+(\d+)$", rest)
+        if m is None:
+            raise ValueError(f"malformed vc delta {text!r} (expected 'vc:+N')")
+        return VcAdd(int(m.group(1)))
+    raise ValueError(f"unknown delta kind {tag!r} in {text!r}")

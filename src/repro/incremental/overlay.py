@@ -1,0 +1,112 @@
+"""A routing relation with faults and table overrides applied as a view.
+
+:class:`OverlayRouting` wraps a base algorithm and applies the session's
+accumulated deltas at query time: table-cell overrides first (keyed by the
+same grammar as :mod:`repro.incremental.deltas`), then the down-channel mask.
+The network object itself is never mutated -- a failed channel still exists
+(so channel ids, fingerprints of the topology, and distance matrices are
+stable); it is merely removed from every route and waiting set, exactly the
+semantics of the simulator's ``fail_channel``.
+
+The overlay is also the session's *instrumentation point*: while a
+:class:`RouteRecorder` is attached, every query records the destination it
+was for and the **pre-mask** channels it consulted.  Those consulted sets
+drive the session's sound invalidation rules -- a link going down or up can
+only change behavior observable through a query whose base route/waiting set
+contains that channel, and the first diverging query of any deterministic
+consumer (a transition walk, a coherence pair check) is one both the cached
+run and a fresh run perform.  Recording is off during verification proper,
+so the overlay behaves as a plain relation there.
+"""
+
+from __future__ import annotations
+
+from ..routing.relation import RoutingAlgorithm
+from ..topology.channel import Channel
+
+_EMPTY: frozenset[Channel] = frozenset()
+
+
+class RouteRecorder:
+    """Accumulates the destinations and pre-mask channels queries consulted."""
+
+    __slots__ = ("dests", "mask")
+
+    def __init__(self) -> None:
+        self.dests: set[int] = set()
+        self.mask: int = 0
+
+    def note(self, dest: int, channels: frozenset[Channel]) -> None:
+        self.dests.add(dest)
+        m = self.mask
+        for c in channels:
+            m |= 1 << c.cid
+        self.mask = m
+
+
+class OverlayRouting(RoutingAlgorithm):
+    """``base`` with down channels masked and table cells overridden.
+
+    ``down`` is a frozenset of :class:`Channel` objects removed from every
+    route and waiting set; ``edits`` maps a table key to its overriding
+    ``(routes, waits)`` frozensets (already validated by the session).
+    Form, wait policy, and name are the base algorithm's -- an overlay with
+    no deltas is observationally identical to its base.
+    """
+
+    def __init__(
+        self,
+        base: RoutingAlgorithm,
+        *,
+        down: frozenset[Channel] = _EMPTY,
+        edits: dict[str, tuple[frozenset[Channel], frozenset[Channel]]] | None = None,
+    ) -> None:
+        super().__init__(base.network)
+        self.base = base
+        self.name = base.name
+        self.form = base.form
+        self.wait_policy = base.wait_policy
+        self.down: frozenset[Channel] = frozenset(down)
+        self.edits: dict[str, tuple[frozenset[Channel], frozenset[Channel]]] = dict(edits or {})
+        self._recorder: RouteRecorder | None = None
+
+    # ------------------------------------------------------------------
+    def table_key(self, c_in: Channel, node: int, dest: int) -> str:
+        """The TableCase-grammar key identifying this query's table cell."""
+        if self.form == "ND":
+            return f"n{node}->{dest}"
+        if c_in.is_link:
+            return f"c{c_in.cid}->{dest}"
+        return f"i{node}->{dest}"
+
+    # ------------------------------------------------------------------
+    def begin_recording(self, recorder: RouteRecorder) -> None:
+        self._recorder = recorder
+
+    def end_recording(self) -> None:
+        self._recorder = None
+
+    # ------------------------------------------------------------------
+    # the relation
+    # ------------------------------------------------------------------
+    def route(self, c_in: Channel, node: int, dest: int) -> frozenset[Channel]:
+        if node == dest:
+            return _EMPTY
+        hit = self.edits.get(self.table_key(c_in, node, dest)) if self.edits else None
+        routes = hit[0] if hit is not None else self.base.route(c_in, node, dest)
+        if self._recorder is not None:
+            self._recorder.note(dest, routes)
+        if self.down and routes:
+            return routes - self.down
+        return routes
+
+    def waiting_channels(self, c_in: Channel, node: int, dest: int) -> frozenset[Channel]:
+        if node == dest:
+            return _EMPTY
+        hit = self.edits.get(self.table_key(c_in, node, dest)) if self.edits else None
+        waits = hit[1] if hit is not None else self.base.waiting_channels(c_in, node, dest)
+        if self._recorder is not None:
+            self._recorder.note(dest, waits)
+        if self.down and waits:
+            return waits - self.down
+        return waits

@@ -1,0 +1,661 @@
+"""Delta-aware incremental re-verification sessions.
+
+A :class:`IncrementalSession` owns one routing relation (an
+:class:`~repro.incremental.overlay.OverlayRouting` over a base algorithm)
+and keeps every artifact the verifiers consume hot across a stream of
+:mod:`~repro.incremental.deltas`:
+
+* per-destination transition graphs, rebuilt only for *dirty* destinations
+  -- a destination is dirty iff the changed channel appears in some
+  pre-mask route/waiting set one of its queries consulted (recorded by the
+  overlay's :class:`~repro.incremental.overlay.RouteRecorder`; soundness is
+  an induction on the deterministic query trace: the first diverging query
+  is made by both the cached and a fresh walk, and its pre-mask set
+  contains the changed channel);
+* the CWG and CDG kernels, re-merged from per-destination edge sets and
+  refreshed through :meth:`~repro.core.depgraph.DepGraph.refresh_scc_from`
+  -- payload-only deltas transfer the Tarjan decomposition verbatim,
+  structural deltas recompute it canonically while the dirty-SCC frontier
+  bounds and audits the blast radius;
+* Duato's per-pair coherence/minimality cells, invalidated by the same
+  recorded (destination, channel) footprints and injected into
+  :func:`~repro.verify.duato.search_escape` as a drop-in
+  ``applicability_fn``.
+
+The correctness contract is *bit-identical equivalence*: for any delta
+sequence, :meth:`IncrementalSession.check` must produce the same verdicts
+-- same booleans, same reasons, same witness evidence, hence the same
+:func:`~repro.pipeline.cache.verdicts_digest` -- as
+:meth:`IncrementalSession.full_check`, which rebuilds everything from
+scratch.  The metamorphic test battery and the fuzz oracle both pin
+exactly that equality.
+
+``stale_scc=True`` builds the deliberately broken variant the fuzz
+campaign plants: link deltas skip the dirty-destination expansion
+entirely, so the session keeps verifying yesterday's graphs.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..analyze.screens import triage, triage_verdict
+from ..core.cwg import ChannelWaitingGraph
+from ..core.depgraph import DepGraph
+from ..core.transitions import DestinationTransitions, TransitionCache
+from ..deps.cdg import ChannelDependencyGraph
+from ..pipeline.cache import VerificationCache, cached_verdict, verdicts_digest
+from ..pipeline.engine import CONDITIONS, DEFAULT_CONDITIONS, JobSpec, build_topology
+from ..pipeline.fingerprint import (
+    _hasher as _fp_hasher,
+    relation_header,
+    relation_segment,
+)
+from ..pipeline.observability import StageMetrics
+from ..routing.catalog import make
+from ..routing.properties import (
+    PropertyReport,
+    minimal_path_pair,
+    prefix_closed_pair,
+    revisit_free_pair,
+    suffix_closed_pair,
+)
+from ..routing.relation import RoutingAlgorithm
+from ..topology.channel import Channel
+from ..verify import dally_seitz, search_escape, verify
+from ..verify.dally_seitz import is_nonadaptive
+from ..verify.report import Verdict
+from .deltas import Delta, LinkDown, LinkUp, TableEdit, VcAdd, parse_table_key
+from .overlay import OverlayRouting, RouteRecorder
+
+#: the coherence sub-checks in the exact order :func:`is_coherent` runs them
+_COHERENCE_KINDS = (
+    ("prefix", "prefix-closed"),
+    ("suffix", "suffix-closed"),
+    ("revisit", "node-revisit-free"),
+)
+
+
+@dataclass
+class ReverifyResult:
+    """One incremental re-verification: verdicts plus provenance."""
+
+    algorithm: str
+    delta: Delta | None
+    fingerprint: str
+    verdicts: dict[str, Verdict]
+    digest: str
+    seconds: float
+    cached: int = 0
+    stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def deadlock_free(self) -> bool:
+        return all(v.deadlock_free for v in self.verdicts.values())
+
+    def describe(self) -> str:
+        flags = " ".join(
+            f"{k}={'T' if v.deadlock_free else 'F'}" for k, v in self.verdicts.items()
+        )
+        return (
+            f"{self.algorithm}: {flags} digest={self.digest[:12]} "
+            f"({self.seconds * 1000:.1f}ms, {self.cached} cached, "
+            f"{self.stats.get('dirty_destinations', 0)} dirty dests)"
+        )
+
+
+@dataclass
+class FullCheckResult:
+    """A cold from-scratch check of the session's current relation."""
+
+    verdicts: dict[str, Verdict]
+    digest: str
+    seconds: float
+
+    @property
+    def deadlock_free(self) -> bool:
+        return all(v.deadlock_free for v in self.verdicts.values())
+
+
+class IncrementalSession:
+    """Stateful re-verification of one relation under a stream of deltas.
+
+    ``algorithm`` is the base relation; alternatively build from a
+    :class:`~repro.pipeline.engine.JobSpec` (required for :class:`VcAdd`,
+    which must re-instantiate the topology).  ``conditions`` defaults to
+    the spec's conditions or the engine's full set.  ``triage`` mirrors
+    the batch engine's screen-first theorem path; :meth:`full_check` honors
+    the same flag so the equivalence contract compares like with like.
+    """
+
+    def __init__(
+        self,
+        algorithm: RoutingAlgorithm | None = None,
+        *,
+        spec: JobSpec | None = None,
+        conditions: tuple[str, ...] | None = None,
+        cache: VerificationCache | None = None,
+        metrics: StageMetrics | None = None,
+        triage: bool = False,
+        stale_scc: bool = False,
+    ) -> None:
+        if algorithm is None:
+            if spec is None:
+                raise ValueError("need an algorithm or a JobSpec")
+            self._vcs = spec.vcs or 1
+            algorithm = make(
+                spec.algorithm, build_topology(spec.topology, spec.dims, self._vcs)
+            )
+        else:
+            self._vcs = len({c.vc for c in algorithm.network.link_channels}) or 1
+        if conditions is None:
+            conditions = spec.conditions if spec is not None else DEFAULT_CONDITIONS
+        for key in conditions:
+            if key not in CONDITIONS:
+                raise ValueError(f"unknown condition {key!r}; have {sorted(CONDITIONS)}")
+        self.base: RoutingAlgorithm = algorithm
+        self.spec = spec
+        self.conditions: tuple[str, ...] = tuple(conditions)
+        self.cache = cache
+        self.metrics = metrics if metrics is not None else StageMetrics()
+        self.triage = triage
+        self.stale_scc = stale_scc
+        #: accumulated deltas, in network-independent coordinates
+        self._down_triples: set[tuple[int, int, int]] = set()
+        self._edits: dict[str, TableEdit] = {}
+        self._reset()
+
+    @classmethod
+    def from_spec(cls, spec: JobSpec, **kwargs: Any) -> IncrementalSession:
+        return cls(spec=spec, **kwargs)
+
+    # ------------------------------------------------------------------
+    # full (re)build -- session start and VcAdd
+    # ------------------------------------------------------------------
+    def _reset(self) -> None:
+        net = self.base.network
+        self._link_index: dict[tuple[int, int, int], Channel] = {
+            (c.src, c.dst, c.vc): c for c in net.link_channels
+        }
+        down: set[Channel] = set()
+        for t in sorted(self._down_triples):
+            c = self._link_index.get(t)
+            if c is None:
+                raise ValueError(f"down link {t} does not exist in {net.name}")
+            down.add(c)
+        self.overlay = OverlayRouting(self.base, down=frozenset(down))
+        self.tc = TransitionCache(self.overlay)
+        self._dist = net.shortest_distances()
+        #: dest -> pre-mask channel bitmask its transition walk consulted
+        self._relevant: dict[int, int] = {}
+        #: per-destination (src_cid, dst_cid) edge sets for both kernels
+        self._cwg_edges: dict[int, set[tuple[int, int]]] = {}
+        self._cdg_edges: dict[int, set[tuple[int, int]]] = {}
+        self._dep: DepGraph | None = None
+        self._cdg_dep: DepGraph | None = None
+        #: (kind, src, dest) -> (report, consulted dests, consulted channels)
+        self._cells: dict[tuple[str, int, int], tuple[PropertyReport, frozenset[int], int]] = {}
+        #: cached relation-fingerprint pieces; segments keyed by destination
+        self._fp_header: bytes | None = None
+        self._fp_segments: dict[int, bytes] = {}
+        pending = list(self._edits.values())
+        self._edits = {}
+        for edit in pending:
+            self._apply_edit(edit)
+        with self.metrics.timer("incremental:rebuild"):
+            for dest in net.nodes:
+                self._build_dt(dest)
+            stats = self._refresh_graphs()
+        stats["dirty_destinations"] = net.num_nodes
+        self._last_stats = stats
+
+    # ------------------------------------------------------------------
+    # dirty-destination transition rebuilds
+    # ------------------------------------------------------------------
+    def _build_dt(self, dest: int) -> None:
+        rec = RouteRecorder()
+        self.overlay.begin_recording(rec)
+        try:
+            dt = DestinationTransitions(self.overlay, dest)
+        finally:
+            self.overlay.end_recording()
+        self.tc.store(dest, dt)
+        self._relevant[dest] = rec.mask
+        self._fp_segments.pop(dest, None)
+        cw: set[tuple[int, int]] = set()
+        cd: set[tuple[int, int]] = set()
+        dw = dt.downstream_wait
+        for c1 in dt.usable:
+            a = c1.cid
+            for c2 in dw[c1]:
+                cw.add((a, c2.cid))
+            for c2 in dt.succ[c1]:
+                cd.add((a, c2.cid))
+        self._cwg_edges[dest] = cw
+        self._cdg_edges[dest] = cd
+
+    def _refresh_graphs(self) -> dict[str, int]:
+        """Re-merge the per-destination edge sets and refresh both kernels."""
+        net = self.base.network
+        cwg_masks: dict[tuple[int, int], int] = {}
+        cdg_masks: dict[tuple[int, int], int] = {}
+        for dest, edges in self._cwg_edges.items():
+            bit = 1 << dest
+            for k in edges:
+                cwg_masks[k] = cwg_masks.get(k, 0) | bit
+        for dest, edges in self._cdg_edges.items():
+            bit = 1 << dest
+            for k in edges:
+                cdg_masks[k] = cdg_masks.get(k, 0) | bit
+        stats: dict[str, int] = {}
+        old, old_cdg = self._dep, self._cdg_dep
+        self._dep = DepGraph(net, cwg_masks)
+        self._cdg_dep = DepGraph(net, cdg_masks)
+        if old is not None and old_cdg is not None:
+            for prefix, new_dep, old_dep in (
+                ("cwg", self._dep, old),
+                ("cdg", self._cdg_dep, old_cdg),
+            ):
+                touched: set[int] = set()
+                old_keys = {(u, v) for u, v, _ in old_dep.iter_edges()}
+                new_keys = {(u, v) for u, v, _ in new_dep.iter_edges()}
+                for u, v in old_keys.symmetric_difference(new_keys):
+                    touched.add(u)
+                    touched.add(v)
+                for k, v2 in new_dep.refresh_scc_from(old_dep, touched).items():
+                    stats[f"{prefix}_{k}"] = v2
+                    self.metrics.count(f"{prefix}_{k}", v2)
+        return stats
+
+    # ------------------------------------------------------------------
+    # delta application
+    # ------------------------------------------------------------------
+    def apply(self, delta: Delta) -> dict[str, int]:
+        """Apply one delta; rebuild only what its footprint touches."""
+        with self.metrics.timer("incremental:apply"):
+            return self._apply(delta)
+
+    def _apply(self, delta: Delta) -> dict[str, int]:
+        dirty: set[int] = set()
+        if isinstance(delta, (LinkDown, LinkUp)):
+            triple = (delta.src, delta.dst, delta.vc)
+            c = self._link_index.get(triple)
+            if c is None:
+                raise ValueError(
+                    f"no link channel {delta.src}->{delta.dst} vc{delta.vc} "
+                    f"in {self.base.network.name}"
+                )
+            if isinstance(delta, LinkDown):
+                self._down_triples.add(triple)
+            else:
+                self._down_triples.discard(triple)
+            self.overlay.down = frozenset(
+                self._link_index[t] for t in self._down_triples
+            )
+            if not self.stale_scc:
+                # Sound by the recorder induction; the planted broken
+                # variant skips exactly this expansion.
+                bit = 1 << c.cid
+                dirty = {d for d, m in self._relevant.items() if m & bit}
+                self._invalidate_cells_channel(c.cid)
+        elif isinstance(delta, TableEdit):
+            dest = self._apply_edit(delta)
+            dirty = {dest}
+            self._invalidate_cells_dest(dest)
+        elif isinstance(delta, VcAdd):
+            if self.spec is None:
+                raise ValueError("VcAdd needs a session built from a JobSpec")
+            if delta.count < 1:
+                raise ValueError("VcAdd.count must be positive")
+            self._vcs += delta.count
+            # Channel ids renumber with the vc count; cid-keyed overrides
+            # cannot be translated, so a vc change drops them.
+            self._edits.clear()
+            self.base = make(
+                self.spec.algorithm,
+                build_topology(self.spec.topology, self.spec.dims, self._vcs),
+            )
+            self._reset()
+            return dict(self._last_stats)
+        else:
+            raise TypeError(f"unknown delta {delta!r}")
+        for d in sorted(dirty):
+            self._build_dt(d)
+        stats = self._refresh_graphs()
+        stats["dirty_destinations"] = len(dirty)
+        self.metrics.count("dirty_destinations", len(dirty))
+        self._last_stats = stats
+        return stats
+
+    def _apply_edit(self, edit: TableEdit) -> int:
+        """Validate and install (or clear) one table-cell override."""
+        tag, ident, dest = parse_table_key(edit.key)
+        net = self.base.network
+        form = self.overlay.form
+        if (form == "ND") != (tag == "n"):
+            raise ValueError(
+                f"table key {edit.key!r} (tag {tag!r}) does not match form {form}"
+            )
+        if not 0 <= dest < net.num_nodes:
+            raise ValueError(f"destination {dest} out of range in {edit.key!r}")
+        if tag == "c":
+            if not 0 <= ident < net.num_channels:
+                raise ValueError(f"channel {ident} out of range in {edit.key!r}")
+            c_in = net.channel(ident)
+            if not c_in.is_link:
+                raise ValueError(f"key {edit.key!r} names a non-link input channel")
+            node = c_in.dst
+        else:
+            if not 0 <= ident < net.num_nodes:
+                raise ValueError(f"node {ident} out of range in {edit.key!r}")
+            node = ident
+        if node == dest:
+            raise ValueError(f"key {edit.key!r} routes at the destination itself")
+        if edit.routes is None:
+            self._edits.pop(edit.key, None)
+            self.overlay.edits.pop(edit.key, None)
+            return dest
+        routes = frozenset(net.channel(cid) for cid in edit.routes)
+        for c in routes:
+            if not c.is_link or c.src != node:
+                raise ValueError(f"route channel {c!r} does not leave node {node}")
+        wait_cids = edit.waits if edit.waits is not None else edit.routes
+        waits = frozenset(net.channel(cid) for cid in wait_cids)
+        if not waits <= routes:
+            raise ValueError("waiting channels must be a subset of the route set")
+        self._edits[edit.key] = edit
+        self.overlay.edits[edit.key] = (routes, waits)
+        return dest
+
+    # ------------------------------------------------------------------
+    # memoized Duato applicability (per-pair cells)
+    # ------------------------------------------------------------------
+    def _invalidate_cells_channel(self, cid: int) -> None:
+        bit = 1 << cid
+        self._cells = {k: v for k, v in self._cells.items() if not v[2] & bit}
+
+    def _invalidate_cells_dest(self, dest: int) -> None:
+        self._cells = {k: v for k, v in self._cells.items() if dest not in v[1]}
+
+    def _pair_cell(
+        self, kind: str, src: int, dest: int, max_hops: int | None
+    ) -> PropertyReport:
+        key = (kind, src, dest)
+        hit = self._cells.get(key)
+        if hit is not None:
+            self.metrics.count("cell_hits")
+            return hit[0]
+        rec = RouteRecorder()
+        self.overlay.begin_recording(rec)
+        try:
+            if kind == "prefix":
+                rep = prefix_closed_pair(self.overlay, src, dest, max_hops=max_hops)
+            elif kind == "suffix":
+                rep = suffix_closed_pair(self.overlay, src, dest, max_hops=max_hops)
+            elif kind == "revisit":
+                bound = (
+                    max_hops if max_hops is not None
+                    else self.base.network.num_nodes + 1
+                )
+                rep = revisit_free_pair(self.overlay, src, dest, max_hops=bound)
+            else:
+                rep = minimal_path_pair(self.overlay, src, dest, self._dist[src][dest])
+        finally:
+            self.overlay.end_recording()
+        self._cells[key] = (rep, frozenset(rec.dests), rec.mask)
+        self.metrics.count("cell_misses")
+        return rep
+
+    def _applicability(
+        self, algorithm: RoutingAlgorithm | None = None, *, max_hops: int | None = None
+    ) -> tuple[bool, str]:
+        """Memoizing twin of :func:`repro.verify.duato.applicability`.
+
+        Byte-identical messages, pair-by-pair evaluation in the exact order
+        the originals iterate, per-pair results cached across deltas (keyed
+        by the pair only -- one ``max_hops`` per session, which
+        :func:`search_escape` satisfies).
+        """
+        form = self.overlay.form
+        if form != "ND":
+            return False, f"routing relation has form {form}, Duato requires R(n, d)"
+        net = self.base.network
+        for kind, label in _COHERENCE_KINDS:
+            for src in net.nodes:
+                for dest in net.nodes:
+                    if src == dest:
+                        continue
+                    rep = self._pair_cell(kind, src, dest, max_hops)
+                    if not rep:
+                        return (
+                            False,
+                            f"not coherent: not {label}: {rep.counterexample}",
+                        )
+        for src in net.nodes:
+            for dest in net.nodes:
+                if src == dest:
+                    continue
+                rep = self._pair_cell("minimal", src, dest, max_hops)
+                if not rep:
+                    return False, f"no minimal path for some pair: {rep.counterexample}"
+        return True, ""
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _theorem_verdict(
+        ra: RoutingAlgorithm,
+        tc: TransitionCache,
+        cwg_builder: Callable[[], ChannelWaitingGraph],
+        use_triage: bool,
+    ) -> Verdict:
+        built: list[ChannelWaitingGraph] = []
+
+        def build() -> ChannelWaitingGraph:
+            if not built:
+                built.append(cwg_builder())
+            return built[0]
+
+        if use_triage:
+            tri = triage(ra, transitions=tc, cwg_builder=build)
+            if tri.decided:
+                return triage_verdict(ra, tri)
+        return verify(ra, cwg=build())
+
+    def _compute(self, key: str) -> Verdict:
+        if key == "theorem":
+            dep = self._dep
+            assert dep is not None
+            return self._theorem_verdict(
+                self.overlay,
+                self.tc,
+                lambda: ChannelWaitingGraph.from_depgraph(
+                    self.overlay, dep, transitions=self.tc
+                ),
+                self.triage,
+            )
+        if key == "duato":
+            return search_escape(
+                self.overlay, transitions=self.tc, applicability_fn=self._applicability
+            )
+        cdg_dep = self._cdg_dep
+        assert cdg_dep is not None
+        # nonadaptive is recomputed every check: it quantifies over *all*
+        # states, including ones unreachable in the current overlay, so it
+        # is not derivable from the dirty-destination bookkeeping.
+        return dally_seitz(
+            self.overlay,
+            cdg=ChannelDependencyGraph.from_depgraph(
+                self.overlay, cdg_dep, transitions=self.tc
+            ),
+            nonadaptive=is_nonadaptive(self.overlay),
+        )
+
+    def _fingerprint(self) -> str:
+        """Relation fingerprint from per-destination cached segments.
+
+        Byte-identical to :func:`fingerprint_relation` on the overlay: the
+        header and each destination segment are produced by the same
+        helpers, and a segment is only reused while the destination's
+        transition table is untouched (it is dropped whenever
+        :meth:`_build_dt` rebuilds that destination).
+        """
+        if self._fp_header is None:
+            self._fp_header = relation_header(self.overlay)
+        h = _fp_hasher()
+        h.update(self._fp_header)
+        for dest in self.overlay.network.nodes:
+            seg = self._fp_segments.get(dest)
+            if seg is None:
+                seg = relation_segment(dest, self.tc[dest])
+                self._fp_segments[dest] = seg
+            h.update(seg)
+        return h.hexdigest()
+
+    def check(self, delta: Delta | None = None) -> ReverifyResult:
+        """Verify the current relation through every session condition."""
+        t0 = time.perf_counter()
+        with self.metrics.timer("incremental:fingerprint"):
+            fp = self._fingerprint()
+        verdicts: dict[str, Verdict] = {}
+        cached_n = 0
+        for key in self.conditions:
+            with self.metrics.timer(f"incremental:{key}"):
+                verdict, was_cached = cached_verdict(
+                    self.overlay, key, lambda k=key: self._compute(k),
+                    self.cache, fingerprint=fp,
+                )
+            verdicts[key] = verdict
+            cached_n += int(was_cached)
+        digest = verdicts_digest([verdicts[k] for k in self.conditions])
+        seconds = time.perf_counter() - t0
+        self.metrics.observe("reverify_seconds", seconds)
+        self.metrics.count("reverifications")
+        return ReverifyResult(
+            algorithm=self.overlay.name,
+            delta=delta,
+            fingerprint=fp,
+            verdicts=verdicts,
+            digest=digest,
+            seconds=seconds,
+            cached=cached_n,
+            stats=dict(self._last_stats),
+        )
+
+    def baseline(self) -> ReverifyResult:
+        """The session's initial (no-delta) verification."""
+        return self.check()
+
+    def reverify(self, delta: Delta) -> ReverifyResult:
+        """Apply one delta and re-verify: the service's unit of work."""
+        self.apply(delta)
+        return self.check(delta)
+
+    def full_check(self) -> FullCheckResult:
+        """Cold from-scratch verification of the current relation.
+
+        Builds a fresh overlay (same accumulated deltas), a fresh transition
+        cache, and every graph from nothing; never consults the
+        verification cache.  This is the ground truth the equivalence
+        contract compares :meth:`check` against.
+        """
+        t0 = time.perf_counter()
+        fresh = OverlayRouting(
+            self.base, down=self.overlay.down, edits=dict(self.overlay.edits)
+        )
+        ftc = TransitionCache(fresh)
+        verdicts: dict[str, Verdict] = {}
+        for key in self.conditions:
+            if key == "theorem":
+                verdicts[key] = self._theorem_verdict(
+                    fresh, ftc,
+                    lambda: ChannelWaitingGraph(fresh, transitions=ftc),
+                    self.triage,
+                )
+            elif key == "duato":
+                verdicts[key] = search_escape(fresh, transitions=ftc)
+            else:
+                verdicts[key] = dally_seitz(
+                    fresh, cdg=ChannelDependencyGraph(fresh, transitions=ftc)
+                )
+        digest = verdicts_digest([verdicts[k] for k in self.conditions])
+        return FullCheckResult(
+            verdicts=verdicts, digest=digest, seconds=time.perf_counter() - t0
+        )
+
+
+# ----------------------------------------------------------------------
+# canonical delta scenarios (delta matrix, fuzz oracle, CLI defaults)
+# ----------------------------------------------------------------------
+def default_fault_pair(session: IncrementalSession) -> tuple[LinkDown, LinkUp]:
+    """The canonical (fault, repair) pair: the busiest link channel.
+
+    Deterministic: the link channel consulted by the most destinations,
+    lowest cid on ties.
+    """
+    best: Channel | None = None
+    best_count = 0
+    for c in sorted(session.base.network.link_channels, key=lambda c: c.cid):
+        bit = 1 << c.cid
+        n = sum(1 for m in session._relevant.values() if m & bit)
+        if n > best_count:
+            best, best_count = c, n
+    if best is None:
+        raise ValueError("no link channel is used by any destination")
+    return (
+        LinkDown(best.src, best.dst, best.vc),
+        LinkUp(best.src, best.dst, best.vc),
+    )
+
+
+def default_table_edit(session: IncrementalSession) -> tuple[TableEdit, TableEdit]:
+    """The canonical (edit, revert) pair for this session's relation.
+
+    Prefers *thinning*: the first reachable state (destination-major,
+    input-cid-minor) offering at least two routes loses its highest-cid
+    option.  Fully deterministic relations fall back to *redirecting* the
+    first single-route state onto a different outgoing link of its node.
+    The revert clears the override.
+    """
+    overlay = session.overlay
+    net = session.base.network
+    fallback: tuple[str, tuple[int, ...]] | None = None
+    for dest in sorted(net.nodes):
+        dt = session.tc[dest]
+        for c in sorted(dt.succ, key=lambda ch: ch.cid):
+            if c.dst == dest:
+                continue
+            routes = dt.succ[c]
+            if not routes:
+                continue
+            key = overlay.table_key(c, c.dst, dest)
+            if key in overlay.edits:
+                continue
+            if len(routes) >= 2:
+                keep = sorted(routes, key=lambda ch: ch.cid)[:-1]
+                waits = sorted(
+                    (w.cid for w in dt.wait[c] if w in set(keep))
+                )
+                edit = TableEdit(
+                    key,
+                    routes=tuple(ch.cid for ch in keep),
+                    waits=tuple(waits),
+                )
+                return edit, TableEdit(key)
+            if fallback is None:
+                node = c.dst
+                alts = [
+                    ch for ch in net.link_channels
+                    if ch.src == node and ch not in routes
+                ]
+                if alts:
+                    alt = min(alts, key=lambda ch: ch.cid)
+                    fallback = (key, (alt.cid,))
+    if fallback is not None:
+        key, cids = fallback
+        return TableEdit(key, routes=cids), TableEdit(key)
+    raise ValueError("relation offers no editable table cell")

@@ -19,6 +19,7 @@ from .cache import (
     payload_to_verdict,
     slim_evidence,
     verdict_to_payload,
+    verdicts_digest,
 )
 from .engine import (
     CONDITIONS,
@@ -29,6 +30,7 @@ from .engine import (
     JobResult,
     JobSpec,
     build_topology,
+    catalog_spec,
     catalog_specs,
     run_job,
     verify_catalog,
@@ -51,6 +53,7 @@ __all__ = [
     "cached_cycles",
     "cached_reduction",
     "cached_verdict",
+    "catalog_spec",
     "catalog_specs",
     "fingerprint_network",
     "fingerprint_relation",
@@ -58,5 +61,6 @@ __all__ = [
     "run_job",
     "slim_evidence",
     "verdict_to_payload",
+    "verdicts_digest",
     "verify_catalog",
 ]

@@ -19,9 +19,12 @@ Three artifact layers are memoized, cheapest-to-rebuild last:
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
+from collections import OrderedDict
+from collections.abc import Iterable
 from pathlib import Path
 from typing import Any
 
@@ -34,22 +37,42 @@ from ..verify.report import Verdict, stable_evidence
 
 
 class VerificationCache:
-    """In-memory memo store with an optional shared on-disk layer.
+    """LRU memo store with an optional shared on-disk layer.
 
     Without a ``directory`` the cache lives in this process only (the
     deterministic in-process engine mode); with one, entries are also
     persisted as one JSON file per key so concurrent workers and later runs
-    reuse them.  Corrupt or truncated files are treated as misses.
+    reuse them.
+
+    ``max_entries`` bounds the store (``None`` = unbounded): inserting past
+    the bound evicts the least-recently-used key, removing its disk file
+    too -- the long-running re-verification service leans on this so a
+    fault-sweep burst cannot grow the store without bound.
+
+    Corruption is *never* an error: a truncated, non-JSON, or structurally
+    wrong entry -- whether caught here by the type gate or downstream by a
+    consumer that calls :meth:`note_corrupt` -- is treated as a miss, its
+    file is deleted, and the artifact is recomputed and overwritten.
     """
 
-    def __init__(self, directory: str | Path | None = None) -> None:
-        self._mem: dict[str, Any] = {}
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        *,
+        max_entries: int | None = None,
+    ) -> None:
+        self._mem: OrderedDict[str, Any] = OrderedDict()
         self.directory = Path(directory) if directory is not None else None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.evictions = 0
+        self.corrupt = 0
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -60,10 +83,28 @@ class VerificationCache:
         assert self.directory is not None
         return self.directory / f"{key}.json"
 
+    def _unlink(self, key: str) -> None:
+        if self.directory is not None:
+            try:
+                self._path(key).unlink()
+            except OSError:
+                pass
+
+    def _remember(self, key: str, payload: Any) -> None:
+        """Insert at the most-recent end, evicting LRU keys past the bound."""
+        self._mem[key] = payload
+        self._mem.move_to_end(key)
+        if self.max_entries is not None:
+            while len(self._mem) > self.max_entries:
+                victim, _ = self._mem.popitem(last=False)
+                self.evictions += 1
+                self._unlink(victim)
+
     def get(self, fingerprint: str, stage: str) -> Any | None:
         """Cached payload for ``(fingerprint, stage)`` or ``None``."""
         key = self.key(fingerprint, stage)
         if key in self._mem:
+            self._mem.move_to_end(key)
             self.hits += 1
             return self._mem[key]
         if self.directory is not None:
@@ -73,17 +114,21 @@ class VerificationCache:
                     payload = json.loads(path.read_text())
                 except (OSError, ValueError):
                     payload = None
-                if payload is not None:
-                    self._mem[key] = payload
+                # Type gate: every artifact layer stores a dict or a list;
+                # anything else is a corrupted/foreign file.
+                if payload is not None and isinstance(payload, (dict, list)):
+                    self._remember(key, payload)
                     self.hits += 1
                     return payload
+                self.corrupt += 1
+                self._unlink(key)
         self.misses += 1
         return None
 
     def put(self, fingerprint: str, stage: str, payload: Any) -> None:
         """Store a JSON-serializable payload under ``(fingerprint, stage)``."""
         key = self.key(fingerprint, stage)
-        self._mem[key] = payload
+        self._remember(key, payload)
         self.stores += 1
         if self.directory is not None:
             path = self._path(key)
@@ -99,9 +144,37 @@ class VerificationCache:
                 except OSError:
                     pass
 
+    def note_corrupt(self, fingerprint: str, stage: str) -> None:
+        """A consumer failed to rehydrate this entry: drop it everywhere.
+
+        The earlier ``get`` counted a hit for it; rebalance that into a miss
+        so hit-rate accounting reflects what actually happened.
+        """
+        key = self.key(fingerprint, stage)
+        self._mem.pop(key, None)
+        self._unlink(key)
+        self.corrupt += 1
+        if self.hits > 0:
+            self.hits -= 1
+        self.misses += 1
+
     # ------------------------------------------------------------------
-    def stats(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the store (0.0 when none ran)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, int | float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "corrupt": self.corrupt,
+            "entries": len(self._mem),
+            "hit_rate": round(self.hit_rate, 4),
+        }
 
     def __len__(self) -> int:
         return len(self._mem)
@@ -110,6 +183,10 @@ class VerificationCache:
 # ----------------------------------------------------------------------
 # memoized artifact builders
 # ----------------------------------------------------------------------
+#: what rehydrating a structurally wrong (but JSON-parseable) payload raises
+_RESTORE_ERRORS = (KeyError, TypeError, ValueError, AttributeError, IndexError)
+
+
 def cached_cwg(
     algorithm: RoutingAlgorithm,
     cache: VerificationCache | None,
@@ -123,9 +200,12 @@ def cached_cwg(
     fp = fingerprint or algorithm.fingerprint(transitions=transitions)
     payload = cache.get(fp, "cwg")
     if payload is not None:
-        return ChannelWaitingGraph.from_cached_edges(
-            algorithm, payload, transitions=transitions
-        )
+        try:
+            return ChannelWaitingGraph.from_cached_edges(
+                algorithm, payload, transitions=transitions
+            )
+        except _RESTORE_ERRORS:
+            cache.note_corrupt(fp, "cwg")
     cwg = ChannelWaitingGraph(algorithm, transitions=transitions)
     cache.put(fp, "cwg", cwg.cache_payload())
     return cwg
@@ -149,11 +229,15 @@ def cached_cycles(
     net = cwg.algorithm.network
     fp = fingerprint or cwg.dep.fingerprint()
     payload = cache.get(fp, "cycles")
-    if payload is not None and payload.get("limit_ok", False):
-        return [
-            Cycle(tuple(net.channel(cid) for cid in cids))
-            for cids in payload["cycles"]
-        ]
+    if payload is not None:
+        try:
+            if payload.get("limit_ok", False):
+                return [
+                    Cycle(tuple(net.channel(cid) for cid in cids))
+                    for cids in payload["cycles"]
+                ]
+        except _RESTORE_ERRORS:
+            cache.note_corrupt(fp, "cycles")
     try:
         cycles = find_cycles(cwg.dep, limit=limit)
     except CycleExplosion:
@@ -190,12 +274,15 @@ def cached_reduction(
     fp = fingerprint or cwg.algorithm.fingerprint(transitions=cwg.transitions)
     payload = cache.get(fp, "reduction")
     if payload is not None:
-        removed = frozenset(
-            (net.channel(a), net.channel(b)) for a, b in payload["removed"]
-        )
-        return ReductionResult(
-            payload["success"], removed, [], [], reason=payload["reason"]
-        )
+        try:
+            removed = frozenset(
+                (net.channel(a), net.channel(b)) for a, b in payload["removed"]
+            )
+            return ReductionResult(
+                payload["success"], removed, [], [], reason=payload["reason"]
+            )
+        except _RESTORE_ERRORS:
+            cache.note_corrupt(fp, "reduction")
     result = CWGReducer(cwg, cycle_limit=cycle_limit).run()
     cache.put(
         fp,
@@ -285,10 +372,30 @@ def cached_verdict(
     stage = f"verdict:{condition}"
     payload = cache.get(fp, stage)
     if payload is not None:
-        return payload_to_verdict(payload), True
+        try:
+            return payload_to_verdict(payload), True
+        except _RESTORE_ERRORS:
+            cache.note_corrupt(fp, stage)
     verdict = compute()
     cache.put(fp, stage, verdict_to_payload(verdict))
     return verdict, False
+
+
+def verdicts_digest(verdicts: Iterable[Verdict]) -> str:
+    """Order-sensitive digest of a sequence of verdicts.
+
+    Hashes each verdict's canonical cached payload (:func:`verdict_to_payload`
+    over :func:`slim_evidence`-canonicalized evidence), so two runs agree iff
+    they produced byte-identical verdicts *including* reasons and witness
+    evidence -- the equality the incremental-vs-full metamorphic battery
+    pins.  Cache round-trips preserve it because ``slim_evidence`` is
+    idempotent on its own output.
+    """
+    h = hashlib.blake2b(digest_size=20)
+    for v in verdicts:
+        h.update(json.dumps(verdict_to_payload(v), sort_keys=True).encode())
+        h.update(b"\x00")
+    return h.hexdigest()
 
 
 def network_fingerprint(network: Network) -> str:

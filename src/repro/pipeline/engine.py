@@ -123,6 +123,11 @@ def catalog_specs(
     return specs
 
 
+def catalog_spec(name: str, **kwargs) -> JobSpec:
+    """The single-job convenience variant of :func:`catalog_specs`."""
+    return catalog_specs([name], **kwargs)[0]
+
+
 # ----------------------------------------------------------------------
 # results
 # ----------------------------------------------------------------------

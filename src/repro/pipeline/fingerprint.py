@@ -27,7 +27,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.depgraph import DepGraph
-    from ..core.transitions import TransitionCache
+    from ..core.transitions import DestinationTransitions, TransitionCache
     from ..routing.relation import RoutingAlgorithm
     from ..topology.network import Network
 
@@ -80,6 +80,32 @@ def fingerprint_depgraph(dep: "DepGraph") -> str:
     return h.hexdigest()
 
 
+def relation_header(algorithm: "RoutingAlgorithm") -> bytes:
+    """The destination-independent prefix of a relation fingerprint.
+
+    Covers the network structure, the relation form, and the wait policy.
+    :func:`fingerprint_relation` is, by construction, the digest of this
+    header followed by one :func:`relation_segment` per destination -- so
+    incremental callers may cache segments per destination and recombine
+    them without ever diverging from the batch pipeline's fingerprints.
+    """
+    return (
+        b"relation/v1\n"
+        + fingerprint_network(algorithm.network).encode()
+        + f"\nform={algorithm.form} wait={algorithm.wait_policy.value}\n".encode()
+    )
+
+
+def relation_segment(dest: int, dt: "DestinationTransitions") -> bytes:
+    """Canonical bytes for one destination's routing table slice."""
+    lines = []
+    for c in sorted(dt.succ, key=lambda ch: ch.cid):
+        succ = ",".join(str(o.cid) for o in sorted(dt.succ[c], key=lambda ch: ch.cid))
+        wait = ",".join(str(w.cid) for w in sorted(dt.wait[c], key=lambda ch: ch.cid))
+        lines.append(f"{dest}:{c.cid} -> [{succ}] wait [{wait}]\n")
+    return "".join(lines).encode()
+
+
 def fingerprint_relation(
     algorithm: "RoutingAlgorithm",
     *,
@@ -95,14 +121,8 @@ def fingerprint_relation(
     from ..core.transitions import TransitionCache
 
     h = _hasher()
-    h.update(b"relation/v1\n")
-    h.update(fingerprint_network(algorithm.network).encode())
-    h.update(f"\nform={algorithm.form} wait={algorithm.wait_policy.value}\n".encode())
+    h.update(relation_header(algorithm))
     cache = transitions or TransitionCache(algorithm)
     for dest in algorithm.network.nodes:
-        dt = cache[dest]
-        for c in sorted(dt.succ, key=lambda ch: ch.cid):
-            succ = ",".join(str(o.cid) for o in sorted(dt.succ[c], key=lambda ch: ch.cid))
-            wait = ",".join(str(w.cid) for w in sorted(dt.wait[c], key=lambda ch: ch.cid))
-            h.update(f"{dest}:{c.cid} -> [{succ}] wait [{wait}]\n".encode())
+        h.update(relation_segment(dest, cache[dest]))
     return h.hexdigest()

@@ -61,6 +61,14 @@ def is_minimal(algorithm: RoutingAlgorithm, *, max_hops: int | None = None) -> P
     return PropertyReport(True)
 
 
+def minimal_path_pair(algorithm: RoutingAlgorithm, src: int, dest: int, distance: int) -> PropertyReport:
+    """One pair of :func:`provides_minimal_path` (``distance`` = hop distance)."""
+    for path in enumerate_paths(algorithm, src, dest, max_hops=distance):
+        if len(path) == distance:
+            return PropertyReport(True)
+    return PropertyReport(False, f"no minimal path permitted {src} -> {dest}")
+
+
 def provides_minimal_path(algorithm: RoutingAlgorithm) -> PropertyReport:
     """Duato's side condition: some permitted path per pair is minimal.
 
@@ -73,24 +81,10 @@ def provides_minimal_path(algorithm: RoutingAlgorithm) -> PropertyReport:
         for dest in net.nodes:
             if src == dest:
                 continue
-            found = False
-            for path in enumerate_paths(algorithm, src, dest, max_hops=dist[src][dest]):
-                if len(path) == dist[src][dest]:
-                    found = True
-                    break
-            if not found:
-                return PropertyReport(False, f"no minimal path permitted {src} -> {dest}")
+            rep = minimal_path_pair(algorithm, src, dest, dist[src][dest])
+            if not rep:
+                return rep
     return PropertyReport(True)
-
-
-def _all_permitted_paths(algorithm: RoutingAlgorithm, max_hops: int | None):
-    net = algorithm.network
-    for src in net.nodes:
-        for dest in net.nodes:
-            if src == dest:
-                continue
-            for path in enumerate_paths(algorithm, src, dest, max_hops=max_hops):
-                yield src, dest, path
 
 
 def _path_is_permitted(algorithm: RoutingAlgorithm, src: int, dest: int, path: tuple[Channel, ...]) -> bool:
@@ -104,9 +98,11 @@ def _path_is_permitted(algorithm: RoutingAlgorithm, src: int, dest: int, path: t
     return node == dest
 
 
-def is_prefix_closed(algorithm: RoutingAlgorithm, *, max_hops: int | None = None) -> PropertyReport:
-    """Definition 5: permitted path through n_x implies its prefix is permitted to n_x."""
-    for src, dest, path in _all_permitted_paths(algorithm, max_hops):
+def prefix_closed_pair(
+    algorithm: RoutingAlgorithm, src: int, dest: int, *, max_hops: int | None = None
+) -> PropertyReport:
+    """Definition 5 restricted to the permitted paths of one ``(src, dest)`` pair."""
+    for path in enumerate_paths(algorithm, src, dest, max_hops=max_hops):
         nodes = path_nodes(path, src)
         for cut in range(1, len(path)):
             mid = nodes[cut]
@@ -125,9 +121,24 @@ def is_prefix_closed(algorithm: RoutingAlgorithm, *, max_hops: int | None = None
     return PropertyReport(True)
 
 
-def is_suffix_closed(algorithm: RoutingAlgorithm, *, max_hops: int | None = None) -> PropertyReport:
-    """Definition 6: permitted path through n_x implies its suffix is permitted from n_x."""
-    for src, dest, path in _all_permitted_paths(algorithm, max_hops):
+def is_prefix_closed(algorithm: RoutingAlgorithm, *, max_hops: int | None = None) -> PropertyReport:
+    """Definition 5: permitted path through n_x implies its prefix is permitted to n_x."""
+    net = algorithm.network
+    for src in net.nodes:
+        for dest in net.nodes:
+            if src == dest:
+                continue
+            rep = prefix_closed_pair(algorithm, src, dest, max_hops=max_hops)
+            if not rep:
+                return rep
+    return PropertyReport(True)
+
+
+def suffix_closed_pair(
+    algorithm: RoutingAlgorithm, src: int, dest: int, *, max_hops: int | None = None
+) -> PropertyReport:
+    """Definition 6 restricted to the permitted paths of one ``(src, dest)`` pair."""
+    for path in enumerate_paths(algorithm, src, dest, max_hops=max_hops):
         nodes = path_nodes(path, src)
         for cut in range(1, len(path)):
             mid = nodes[cut]
@@ -144,6 +155,30 @@ def is_suffix_closed(algorithm: RoutingAlgorithm, *, max_hops: int | None = None
     return PropertyReport(True)
 
 
+def is_suffix_closed(algorithm: RoutingAlgorithm, *, max_hops: int | None = None) -> PropertyReport:
+    """Definition 6: permitted path through n_x implies its suffix is permitted from n_x."""
+    net = algorithm.network
+    for src in net.nodes:
+        for dest in net.nodes:
+            if src == dest:
+                continue
+            rep = suffix_closed_pair(algorithm, src, dest, max_hops=max_hops)
+            if not rep:
+                return rep
+    return PropertyReport(True)
+
+
+def revisit_free_pair(
+    algorithm: RoutingAlgorithm, src: int, dest: int, *, max_hops: int
+) -> PropertyReport:
+    """One pair of :func:`never_revisits_node` (``max_hops`` already resolved)."""
+    for path in enumerate_paths(algorithm, src, dest, max_hops=max_hops, simple=False):
+        nodes = path_nodes(path, src)
+        if len(set(nodes)) != len(nodes):
+            return PropertyReport(False, f"path {src}->{dest} revisits a node", {"path": path})
+    return PropertyReport(True)
+
+
 def never_revisits_node(algorithm: RoutingAlgorithm, *, max_hops: int | None = None) -> PropertyReport:
     """No permitted path routes through the same node twice.
 
@@ -157,10 +192,9 @@ def never_revisits_node(algorithm: RoutingAlgorithm, *, max_hops: int | None = N
         for dest in net.nodes:
             if src == dest:
                 continue
-            for path in enumerate_paths(algorithm, src, dest, max_hops=bound, simple=False):
-                nodes = path_nodes(path, src)
-                if len(set(nodes)) != len(nodes):
-                    return PropertyReport(False, f"path {src}->{dest} revisits a node", {"path": path})
+            rep = revisit_free_pair(algorithm, src, dest, max_hops=bound)
+            if not rep:
+                return rep
     return PropertyReport(True)
 
 

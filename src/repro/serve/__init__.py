@@ -1,0 +1,24 @@
+"""Service layer: sharded, continuously re-verifying sessions as a queue.
+
+See :mod:`repro.serve.service`; exposed on the command line as
+``python -m repro serve`` (burst smoke mode) and consumed by the
+``serve-smoke`` CI job.
+"""
+
+from .service import (
+    AuditMismatchError,
+    JobOutcome,
+    ReverifyJob,
+    ServiceReport,
+    VerificationService,
+    shard_of,
+)
+
+__all__ = [
+    "AuditMismatchError",
+    "JobOutcome",
+    "ReverifyJob",
+    "ServiceReport",
+    "VerificationService",
+    "shard_of",
+]

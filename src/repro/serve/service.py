@@ -1,0 +1,278 @@
+"""A delta-aware verification service over incremental sessions.
+
+The batch pipeline answers "is this frozen catalog deadlock-free?"; the
+service answers the operational question "is the *evolving* fabric still
+deadlock-free after this event?".  Jobs name a catalog algorithm and carry
+one :mod:`~repro.incremental.deltas` delta; the service shards them by
+target onto asyncio workers, each of which owns long-lived
+:class:`~repro.incremental.session.IncrementalSession` objects (shard
+affinity keeps every delta stream for one target on one worker, so session
+state is never shared across workers), re-verifies through the shared
+content-addressed :class:`~repro.pipeline.cache.VerificationCache`, and --
+on a deterministic sample of jobs -- audits its own answers against a cold
+full rebuild (:meth:`IncrementalSession.full_check`).
+
+Everything observable (queue latency, re-verify latency, cache hit rate,
+equivalence audits) flows through
+:class:`~repro.pipeline.observability.StageMetrics` and the final
+:class:`ServiceReport`, which the ``python -m repro serve`` smoke entry
+point turns into an exit code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..incremental.deltas import Delta, format_delta
+from ..incremental.session import IncrementalSession, ReverifyResult
+from ..pipeline.cache import VerificationCache
+from ..pipeline.engine import DEFAULT_CONDITIONS, JobSpec
+from ..pipeline.observability import StageMetrics
+
+
+def shard_of(target: str, workers: int) -> int:
+    """Stable shard index for a target name (BLAKE2b, not ``hash()``).
+
+    Python's built-in ``hash`` is randomized per process; a content digest
+    keeps the target->worker assignment identical across runs and across
+    the service and its tests.
+    """
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    h = hashlib.blake2b(target.encode("utf-8"), digest_size=4)
+    return int.from_bytes(h.digest(), "big") % workers
+
+
+@dataclass(frozen=True)
+class ReverifyJob:
+    """One unit of service work: apply ``delta`` to ``target``, re-verify.
+
+    ``delta`` may be ``None`` for a pure re-check of the target's current
+    state (a cache-hit probe, or the first touch that forces a baseline).
+    """
+
+    job_id: int
+    target: str
+    delta: Delta | None = None
+
+    def describe(self) -> str:
+        d = format_delta(self.delta) if self.delta is not None else "recheck"
+        return f"job {self.job_id}: {self.target} <- {d}"
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """The service's answer for one job."""
+
+    job_id: int
+    target: str
+    shard: int
+    result: ReverifyResult
+    #: queue wait + verification, seconds (what a caller would experience)
+    latency: float
+    #: None = not audited; True/False = full-rebuild audit verdict
+    audited: bool | None = None
+
+    @property
+    def deadlock_free(self) -> bool:
+        return self.result.deadlock_free
+
+
+@dataclass
+class ServiceReport:
+    """Aggregate outcome of one service run."""
+
+    outcomes: list[JobOutcome] = field(default_factory=list)
+    errors: list[tuple[int, str, str]] = field(default_factory=list)
+    clean_shutdown: bool = False
+    workers: int = 0
+    cache_stats: dict[str, Any] = field(default_factory=dict)
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        return float(self.cache_stats.get("hit_rate", 0.0))
+
+    @property
+    def audited(self) -> int:
+        return sum(1 for o in self.outcomes if o.audited is not None)
+
+    @property
+    def audit_failures(self) -> list[JobOutcome]:
+        return [o for o in self.outcomes if o.audited is False]
+
+    def ok(self, min_hit_rate: float = 0.0) -> bool:
+        """Did the run shut down cleanly, audit clean, and hit the cache?"""
+        return (
+            self.clean_shutdown
+            and not self.errors
+            and not self.audit_failures
+            and self.hit_rate >= min_hit_rate
+        )
+
+    def describe(self) -> str:
+        lines = [
+            f"service: {len(self.outcomes)} jobs on {self.workers} workers "
+            f"(clean shutdown: {self.clean_shutdown})",
+            f"  cache hit rate {self.hit_rate:.3f} "
+            f"({self.cache_stats.get('hits', 0)} hits / "
+            f"{self.cache_stats.get('misses', 0)} misses)",
+            f"  audited {self.audited} jobs against full rebuilds, "
+            f"{len(self.audit_failures)} mismatches",
+        ]
+        for job_id, target, err in self.errors:
+            lines.append(f"  error: job {job_id} ({target}): {err}")
+        for o in self.audit_failures:
+            lines.append(f"  MISMATCH: job {o.job_id} ({o.target})")
+        return "\n".join(lines)
+
+
+class AuditMismatchError(AssertionError):
+    """An incremental verdict diverged from its full-rebuild audit."""
+
+
+class VerificationService:
+    """Sharded asyncio service of incremental re-verification sessions.
+
+    ``specs`` declares the verifiable universe: one
+    :class:`~repro.pipeline.engine.JobSpec` per admissible target.  Jobs
+    naming an unknown target are reported as errors, never crashes.
+
+    ``verify_sample`` in ``(0, 1]`` audits a deterministic subset of jobs
+    (every ``round(1/verify_sample)``-th ``job_id``) against a cold full
+    rebuild; a mismatch is recorded on the outcome and fails
+    :meth:`ServiceReport.ok` -- the service polices its own equivalence
+    contract in production, not only in the test battery.
+    """
+
+    def __init__(
+        self,
+        specs: list[JobSpec],
+        *,
+        workers: int = 2,
+        conditions: tuple[str, ...] | None = None,
+        cache: VerificationCache | None = None,
+        verify_sample: float = 0.0,
+        triage: bool = True,
+        metrics: StageMetrics | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if not 0.0 <= verify_sample <= 1.0:
+            raise ValueError("verify_sample must be within [0, 1]")
+        self.specs = {spec.algorithm: spec for spec in specs}
+        self.workers = workers
+        self.conditions = tuple(conditions or DEFAULT_CONDITIONS)
+        self.cache = cache if cache is not None else VerificationCache(max_entries=256)
+        self.verify_sample = verify_sample
+        self.triage = triage
+        self.metrics = metrics or StageMetrics()
+        self._sessions: dict[str, IncrementalSession] = {}
+
+    # ------------------------------------------------------------------
+    def _audit_stride(self) -> int:
+        if self.verify_sample <= 0.0:
+            return 0
+        return max(1, round(1.0 / self.verify_sample))
+
+    def _session(self, target: str) -> IncrementalSession:
+        """The long-lived session for a target (created on first touch)."""
+        session = self._sessions.get(target)
+        if session is None:
+            spec = self.specs.get(target)
+            if spec is None:
+                raise KeyError(f"unknown target {target!r}; not in service specs")
+            with self.metrics.timer("serve:session_build"):
+                session = IncrementalSession(
+                    spec=spec,
+                    conditions=self.conditions,
+                    cache=self.cache,
+                    metrics=self.metrics,
+                    triage=self.triage,
+                )
+                session.baseline()
+            self._sessions[target] = session
+            self.metrics.count("serve:sessions")
+        return session
+
+    def _process(self, job: ReverifyJob, enqueued_at: float) -> JobOutcome:
+        session = self._session(job.target)
+        if job.delta is not None:
+            result = session.reverify(job.delta)
+        else:
+            result = session.check()
+        stride = self._audit_stride()
+        audited: bool | None = None
+        if stride and job.job_id % stride == 0:
+            with self.metrics.timer("serve:audit"):
+                audited = session.full_check().digest == result.digest
+            self.metrics.count("serve:audits")
+            if not audited:
+                self.metrics.count("serve:audit_mismatches")
+        latency = time.perf_counter() - enqueued_at
+        self.metrics.observe("serve_latency_seconds", latency)
+        self.metrics.count("serve:jobs")
+        return JobOutcome(
+            job_id=job.job_id,
+            target=job.target,
+            shard=shard_of(job.target, self.workers),
+            result=result,
+            latency=latency,
+            audited=audited,
+        )
+
+    # ------------------------------------------------------------------
+    async def _worker(
+        self,
+        queue: asyncio.Queue[tuple[ReverifyJob, float] | None],
+        report: ServiceReport,
+    ) -> None:
+        while True:
+            item = await queue.get()
+            try:
+                if item is None:
+                    return
+                job, enqueued_at = item
+                try:
+                    report.outcomes.append(self._process(job, enqueued_at))
+                except Exception as exc:  # noqa: BLE001 - jobs must not kill the worker
+                    self.metrics.count("serve:job_errors")
+                    report.errors.append((job.job_id, job.target, str(exc)))
+                # yield the loop between jobs so shards interleave
+                await asyncio.sleep(0)
+            finally:
+                queue.task_done()
+
+    async def run(self, jobs: list[ReverifyJob]) -> ServiceReport:
+        """Process ``jobs`` to completion and shut the workers down."""
+        report = ServiceReport(workers=self.workers)
+        queues: list[asyncio.Queue[tuple[ReverifyJob, float] | None]] = [
+            asyncio.Queue() for _ in range(self.workers)
+        ]
+        tasks = [
+            asyncio.create_task(self._worker(q, report), name=f"serve-worker-{i}")
+            for i, q in enumerate(queues)
+        ]
+        for job in jobs:
+            queues[shard_of(job.target, self.workers)].put_nowait(
+                (job, time.perf_counter())
+            )
+        for q in queues:
+            q.put_nowait(None)
+        done = await asyncio.gather(*tasks, return_exceptions=True)
+        report.clean_shutdown = all(r is None for r in done)
+        for r in done:
+            if isinstance(r, BaseException):
+                report.errors.append((-1, "<worker>", repr(r)))
+        report.outcomes.sort(key=lambda o: o.job_id)
+        report.cache_stats = self.cache.stats()
+        report.metrics = self.metrics.snapshot()
+        return report
+
+    def run_burst(self, jobs: list[ReverifyJob]) -> ServiceReport:
+        """Synchronous wrapper: run one burst of jobs on a fresh event loop."""
+        return asyncio.run(self.run(jobs))

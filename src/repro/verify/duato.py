@@ -20,13 +20,18 @@ the incoherent example) that the supplied paper's condition closes.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from itertools import combinations
 
 from ..core.cycles import find_one_cycle
+from ..core.transitions import TransitionCache
 from ..deps.ecdg import EscapeSpec, ExtendedChannelDependencyGraph, escape_by_vc
 from ..routing.properties import is_coherent, provides_minimal_path
 from ..routing.relation import RoutingAlgorithm
 from .report import Verdict
+
+#: signature of the applicability hook :func:`search_escape` accepts
+ApplicabilityFn = Callable[..., tuple[bool, str]]
 
 
 def applicability(algorithm: RoutingAlgorithm, *, max_hops: int | None = None) -> tuple[bool, str]:
@@ -49,12 +54,15 @@ def duato_condition(
     check_applicability: bool = True,
     max_hops: int | None = None,
     ecdg_cls: type[ExtendedChannelDependencyGraph] = ExtendedChannelDependencyGraph,
+    transitions: TransitionCache | None = None,
 ) -> Verdict:
     """Apply Duato's condition with a given escape set / subfunction.
 
     ``ecdg_cls`` is a seam for alternative ECDG builders; the fuzz
     subsystem's deliberately broken variants use it to prove the oracle
-    stack can catch a checker that drops a dependency type.
+    stack can catch a checker that drops a dependency type.  ``transitions``
+    hands the ECDG an already-populated per-destination transition cache
+    (the incremental engine shares one across re-verifications).
     """
     if check_applicability:
         ok, why = applicability(algorithm, max_hops=max_hops)
@@ -64,7 +72,7 @@ def duato_condition(
                 reason=f"condition not applicable: {why}",
                 evidence={"applicable": False},
             )
-    ecdg = ecdg_cls(algorithm, escape)
+    ecdg = ecdg_cls(algorithm, escape, transitions=transitions)
     connected, why = ecdg.subfunction_connected()
     if not connected:
         return Verdict(
@@ -93,6 +101,8 @@ def search_escape(
     max_hops: int | None = None,
     max_class_union: int = 2,
     ecdg_cls: type[ExtendedChannelDependencyGraph] = ExtendedChannelDependencyGraph,
+    transitions: TransitionCache | None = None,
+    applicability_fn: ApplicabilityFn | None = None,
 ) -> Verdict:
     """Search the natural escape-set candidates for a certifying R1.
 
@@ -101,8 +111,13 @@ def search_escape(
     the algorithm the verdict is authoritative ("iff" direction satisfied by
     exhibition); if none does, the verdict reports failure of the *search*,
     not a proof of deadlock (the complete search is exponential).
+
+    ``applicability_fn`` substitutes for :func:`applicability` (same
+    signature and messages); the incremental engine injects a memoizing
+    variant whose per-pair coherence cells survive across deltas.
     """
-    ok, why = applicability(algorithm, max_hops=max_hops)
+    check = applicability_fn if applicability_fn is not None else applicability
+    ok, why = check(algorithm, max_hops=max_hops)
     if not ok:
         return Verdict(
             algorithm.name, "Duato", False, necessary_and_sufficient=False,
@@ -117,7 +132,8 @@ def search_escape(
     candidates.append(("all channels", frozenset(algorithm.network.link_channels)))
     tried: list[str] = []
     for label, esc in candidates:
-        verdict = duato_condition(algorithm, esc, check_applicability=False, ecdg_cls=ecdg_cls)
+        verdict = duato_condition(algorithm, esc, check_applicability=False,
+                                  ecdg_cls=ecdg_cls, transitions=transitions)
         tried.append(label)
         if verdict.deadlock_free:
             verdict.reason += f" (escape = {label})"

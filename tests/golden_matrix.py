@@ -21,6 +21,16 @@ The matrix deliberately crosses the simulator's behavioral axes:
 Regenerate (only when a change is *intended* to alter behavior) with::
 
     PYTHONPATH=src:tests python -m golden_matrix --write
+
+The module also pins the **delta verdict matrix**: for every catalog
+algorithm, the session-default link-down and table-edit scenarios of
+:mod:`repro.incremental` with their frozen verdicts and verdict digests
+(``tests/fixtures/delta_verdict_matrix.json``).  The incremental engine
+must keep answering reconfiguration questions *identically* -- same
+deltas derived, same verdicts, same digests.  Regenerate (same caveat)
+with::
+
+    PYTHONPATH=src:tests python -m golden_matrix --write-deltas
 """
 
 from __future__ import annotations
@@ -152,6 +162,78 @@ def run_case(cid: str) -> str:
     return sim.stats.digest()
 
 
+# ----------------------------------------------------------------------
+# the delta verdict matrix (incremental re-verification scenarios)
+# ----------------------------------------------------------------------
+DELTA_FIXTURE = Path(__file__).resolve().parent / "fixtures" / "delta_verdict_matrix.json"
+
+
+def delta_algorithms() -> list[str]:
+    """Every catalog algorithm is a delta-matrix row."""
+    from repro.routing import CATALOG
+
+    return sorted(CATALOG)
+
+
+def run_delta_case(name: str) -> dict:
+    """One algorithm's pinned reconfiguration scenarios.
+
+    Builds the catalog session, then applies the session-default fault
+    pair (link down + repair) and table-edit pair (edit + revert).  Both
+    the derived delta *coordinates* and the resulting verdicts/digests are
+    part of the pin: a change to the defaults or to any verdict shows up
+    as a fixture diff, never silently.
+    """
+    from repro.incremental import (
+        IncrementalSession,
+        default_fault_pair,
+        default_table_edit,
+        format_delta,
+    )
+    from repro.pipeline import catalog_spec
+
+    session = IncrementalSession(spec=catalog_spec(name), triage=True)
+    out: dict = {"baseline": _delta_obs(session.baseline())}
+
+    def scenario(key: str, deltas) -> None:
+        results = [session.reverify(d) for d in deltas]
+        out[key] = {
+            "deltas": [format_delta(d) for d in deltas],
+            "steps": [_delta_obs(r) for r in results],
+        }
+
+    down, up = default_fault_pair(session)
+    scenario("link-down", [down, up])
+    try:
+        edit, revert = default_table_edit(session)
+    except ValueError as exc:
+        out["table-edit"] = {"error": str(exc)}
+    else:
+        scenario("table-edit", [edit, revert])
+    return out
+
+
+def _delta_obs(result) -> dict:
+    return {
+        "verdicts": {k: v.deadlock_free for k, v in result.verdicts.items()},
+        "digest": result.digest,
+    }
+
+
+def load_delta_fixture() -> dict[str, dict]:
+    with open(DELTA_FIXTURE) as f:
+        return json.load(f)
+
+
+def write_delta_fixture() -> dict[str, dict]:
+    rows = {name: run_delta_case(name) for name in delta_algorithms()}
+    DELTA_FIXTURE.parent.mkdir(exist_ok=True)
+    with open(DELTA_FIXTURE, "w") as f:
+        json.dump(rows, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return rows
+
+
 def load_fixture() -> dict[str, str]:
     with open(FIXTURE) as f:
         return json.load(f)
@@ -169,7 +251,11 @@ def write_fixture() -> dict[str, str]:
 if __name__ == "__main__":
     import sys
 
-    if "--write" in sys.argv:
+    if "--write-deltas" in sys.argv:
+        for name, row in write_delta_fixture().items():
+            print(f"{name:24} baseline={row['baseline']['digest'][:12]}")
+        print(f"wrote {len(delta_algorithms())} delta rows to {DELTA_FIXTURE}")
+    elif "--write" in sys.argv:
         for cid, d in write_fixture().items():
             print(f"{cid:24} {d}")
         print(f"wrote {len(CASES)} digests to {FIXTURE}")

@@ -1,0 +1,170 @@
+"""The persistent verdict store: LRU bounds, hit accounting, corruption.
+
+The re-verification service leans on :class:`VerificationCache` as a
+long-lived store, which sharpens two contracts the batch pipeline never
+stressed: a bounded store must evict in LRU order (including the on-disk
+layer), and a corrupted or truncated persisted entry must behave as a miss
+-- recomputed and overwritten -- never as an exception.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.pipeline import (
+    VerificationCache,
+    cached_verdict,
+    verdict_to_payload,
+    verdicts_digest,
+)
+from repro.routing import make
+from repro.topology import build_mesh
+from repro.verify import verify
+
+
+def _algorithm():
+    return make("west-first", build_mesh((3, 3)))
+
+
+# ----------------------------------------------------------------------
+# LRU bounds and hit accounting
+# ----------------------------------------------------------------------
+def test_eviction_in_lru_order(tmp_path):
+    cache = VerificationCache(tmp_path, max_entries=2)
+    cache.put("fp-a", "verdict:x", {"v": "a"})
+    cache.put("fp-b", "verdict:x", {"v": "b"})
+    cache.put("fp-c", "verdict:x", {"v": "c"})
+    assert cache.evictions == 1
+    assert cache.get("fp-a", "verdict:x") is None  # oldest gone
+    assert cache.get("fp-b", "verdict:x") == {"v": "b"}
+    assert cache.get("fp-c", "verdict:x") == {"v": "c"}
+    # the evicted key's disk file is gone too, not just its memory slot
+    assert not (tmp_path / f"{cache.key('fp-a', 'verdict:x')}.json").exists()
+
+
+def test_hit_refreshes_lru_position(tmp_path):
+    cache = VerificationCache(tmp_path, max_entries=2)
+    cache.put("fp-a", "s", {"v": "a"})
+    cache.put("fp-b", "s", {"v": "b"})
+    assert cache.get("fp-a", "s") == {"v": "a"}  # touch a: b is now LRU
+    cache.put("fp-c", "s", {"v": "c"})
+    assert cache.get("fp-b", "s") is None
+    assert cache.get("fp-a", "s") == {"v": "a"}
+
+
+def test_unbounded_cache_never_evicts():
+    cache = VerificationCache()
+    for i in range(50):
+        cache.put(f"fp-{i}", "s", {"i": i})
+    assert len(cache) == 50
+    assert cache.evictions == 0
+
+
+def test_max_entries_must_be_positive():
+    with pytest.raises(ValueError):
+        VerificationCache(max_entries=0)
+
+
+def test_hit_rate_counters(tmp_path):
+    cache = VerificationCache(tmp_path)
+    assert cache.hit_rate == 0.0
+    cache.put("fp", "s", {"v": 1})
+    assert cache.get("fp", "s") == {"v": 1}
+    assert cache.get("fp-other", "s") is None
+    assert cache.hits == 1 and cache.misses == 1
+    assert cache.hit_rate == 0.5
+    stats = cache.stats()
+    assert stats["hit_rate"] == 0.5
+    assert stats["entries"] == 1
+    assert stats["stores"] == 1
+
+
+# ----------------------------------------------------------------------
+# corruption is a miss, never an exception
+# ----------------------------------------------------------------------
+def _entry_path(cache: VerificationCache, fp: str, stage: str):
+    return cache.directory / f"{cache.key(fp, stage)}.json"
+
+
+@pytest.mark.parametrize("garbage", [
+    b"",                      # empty file
+    b'{"verdict": tru',       # truncated mid-token
+    b"not json at all",       # not JSON
+    b'"just a string"',       # parses, but fails the dict/list type gate
+    b"42",                    # ditto
+])
+def test_corrupted_disk_entry_is_a_miss(tmp_path, garbage):
+    writer = VerificationCache(tmp_path)
+    writer.put("fp", "verdict:theorem", {"v": 1})
+    _entry_path(writer, "fp", "verdict:theorem").write_bytes(garbage)
+
+    reader = VerificationCache(tmp_path)  # fresh memory: must read the file
+    assert reader.get("fp", "verdict:theorem") is None
+    assert reader.corrupt == 1
+    assert reader.misses == 1 and reader.hits == 0
+    # the bad file was deleted so the next run doesn't re-parse it
+    assert not _entry_path(reader, "fp", "verdict:theorem").exists()
+
+
+def test_corrupted_verdict_payload_reverifies_and_overwrites(tmp_path):
+    """A JSON-parseable but structurally wrong verdict entry: the consumer
+    treats it as a miss, re-verifies, and overwrites the bad entry."""
+    ra = _algorithm()
+    cache = VerificationCache(tmp_path)
+    fp = ra.fingerprint()
+
+    fresh = verify(ra)
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return fresh
+
+    # poison the persisted entry with a dict missing every verdict field
+    cache.put(fp, "verdict:theorem", {"wrong": "shape"})
+    reader = VerificationCache(tmp_path)
+    verdict, was_cached = cached_verdict(ra, "theorem", compute, reader, fingerprint=fp)
+    assert not was_cached
+    assert calls, "corrupt entry must force recomputation"
+    assert verdict.deadlock_free == fresh.deadlock_free
+    assert reader.corrupt == 1
+    # the store now holds the good entry: a second lookup is a real hit
+    verdict2, was_cached2 = cached_verdict(ra, "theorem", compute, reader, fingerprint=fp)
+    assert was_cached2
+    assert verdict2.deadlock_free == fresh.deadlock_free
+    assert len(calls) == 1
+
+
+def test_note_corrupt_rebalances_hit_accounting():
+    cache = VerificationCache()
+    cache.put("fp", "s", {"v": 1})
+    assert cache.get("fp", "s") == {"v": 1}  # counted as a hit...
+    cache.note_corrupt("fp", "s")            # ...then found to be garbage
+    assert cache.hits == 0 and cache.misses == 1
+    assert cache.corrupt == 1
+    assert cache.get("fp", "s") is None      # entry is gone everywhere
+
+
+# ----------------------------------------------------------------------
+# verdict digests (the equivalence contract's observable)
+# ----------------------------------------------------------------------
+def test_verdicts_digest_is_order_sensitive_and_stable():
+    ra = _algorithm()
+    v = verify(ra)
+    d1 = verdicts_digest([v])
+    assert d1 == verdicts_digest([v])
+    assert d1 != verdicts_digest([v, v])
+    assert len(d1) == 40  # blake2b-20 hex
+
+
+def test_verdict_payload_roundtrip_preserves_digest():
+    """Digest equality must survive a cache round trip (slim evidence is
+    idempotent), or cache hits would report different digests."""
+    from repro.pipeline import payload_to_verdict
+
+    ra = _algorithm()
+    v = verify(ra)
+    restored = payload_to_verdict(json.loads(json.dumps(verdict_to_payload(v))))
+    assert verdicts_digest([restored]) == verdicts_digest([v])

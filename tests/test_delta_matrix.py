@@ -1,0 +1,30 @@
+"""The pinned delta verdict matrix over the whole algorithm catalog.
+
+Companion to ``test_verify_matrix.py``: for every catalog algorithm the
+fixture freezes the session-default link-down and table-edit scenarios --
+which deltas get derived, every per-condition verdict along the way, and
+the verdict digests.  Any drift in the incremental engine's answers to
+reconfiguration questions shows up here as an explicit fixture diff.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.golden_matrix import delta_algorithms, load_delta_fixture, run_delta_case
+
+RECORDED = load_delta_fixture()
+
+
+def test_fixture_covers_the_catalog():
+    assert sorted(RECORDED) == delta_algorithms()
+
+
+@pytest.mark.parametrize("name", delta_algorithms())
+def test_delta_scenarios_match_fixture(name):
+    assert name in RECORDED, f"regenerate fixture: missing row for {name}"
+    got = run_delta_case(name)
+    want = RECORDED[name]
+    assert got["baseline"] == want["baseline"], f"{name}: baseline drifted"
+    for scenario in ("link-down", "table-edit"):
+        assert got[scenario] == want[scenario], f"{name}: {scenario} drifted"

@@ -38,7 +38,9 @@ def _edge_pairs(graph) -> set[tuple[int, int]]:
 
 
 def test_planted_variants_registry():
-    assert set(PLANTED_VARIANTS) == {"cwg-immediate", "duato-no-indirect"}
+    assert set(PLANTED_VARIANTS) == {
+        "cwg-immediate", "duato-no-indirect", "incremental-stale-scc",
+    }
     with pytest.raises(ValueError, match="unknown planted variant"):
         planted_stack("no-such-variant")
 

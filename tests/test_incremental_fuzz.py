@@ -1,0 +1,86 @@
+"""The incremental-vs-full fuzz oracle and its planted negative control.
+
+``check_incremental`` runs every fuzz case through a small delta battery
+(fault pair + table-edit pair) inside an :class:`IncrementalSession` and
+compares each step's digest against a cold full rebuild; a mismatch is an
+``incremental-divergence`` discrepancy.  The ``incremental-stale-scc``
+planted variant proves the oracle can actually catch an unsound engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz import (
+    REAL_STACK,
+    check_incremental,
+    focus,
+    load_corpus,
+    planted_stack,
+    replay_entry,
+    run_stack,
+)
+from repro.routing import make
+from repro.topology import build_mesh
+
+CORPUS_ENTRY = "corpus/planted-incremental-stale-scc-2e46d11b91bc.json"
+
+
+def _algorithm():
+    return make("west-first", build_mesh((3, 3)))
+
+
+def test_check_incremental_is_clean_on_a_real_session():
+    result = check_incremental(_algorithm())
+    assert result.checker == "incremental"
+    assert result.condition == "incremental-equivalence"
+    assert result.divergence is None
+    # the oracle is metamorphic: it never claims freedom or deadlock
+    assert not result.claims_free and not result.claims_deadlock
+    assert "matched full rebuilds" in result.detail
+
+
+def test_check_incremental_stale_scc_diverges():
+    result = check_incremental(_algorithm(), stale_scc=True)
+    assert result.divergence is not None
+    assert "!= full-rebuild digest" in result.divergence
+
+
+def test_real_stack_includes_incremental_and_stays_clean():
+    report = run_stack(_algorithm(), REAL_STACK)
+    by_name = {r.checker: r for r in report.results}
+    assert "incremental" in by_name
+    assert by_name["incremental"].divergence is None
+    assert not report.discrepancies
+
+
+def test_focused_incremental_stack():
+    sub = focus(REAL_STACK, ["incremental"])
+    report = run_stack(_algorithm(), sub)
+    assert [r.checker for r in report.results] == ["incremental"]
+    assert not report.discrepancies
+
+
+def test_planted_stale_scc_stack_raises_divergence_discrepancy():
+    report = run_stack(_algorithm(), planted_stack("incremental-stale-scc"))
+    kinds = {d.kind for d in report.discrepancies}
+    assert "incremental-divergence" in kinds
+    div = next(d for d in report.discrepancies
+               if d.kind == "incremental-divergence")
+    assert div.free_checker == "incremental"
+    assert "digest" in div.detail
+
+
+def test_divergence_survives_json_round_trip():
+    result = check_incremental(_algorithm(), stale_scc=True)
+    assert result.to_json()["divergence"] == result.divergence
+
+
+def test_committed_corpus_entry_replays_deterministically():
+    entries = dict(load_corpus("corpus"))
+    path = next((p for p in entries if p.name in CORPUS_ENTRY), None)
+    if path is None:
+        pytest.skip("stale-scc corpus entry not present")
+    replay = replay_entry(entries[path], path)
+    assert replay.reproduced, replay.error
+    assert replay.deterministic
