@@ -104,13 +104,18 @@ def pytest_runtest_logreport(report):
         _files[name] = fname
 
 
-def _snapshot_entry(name: str, baseline: dict[str, float]) -> dict:
+def _snapshot_entry(name: str, baseline: dict[str, float], prior: dict[str, dict]) -> dict:
     seconds = round(_durations[name], 3)
     entry: dict = {"seconds": seconds}
     base = baseline.get(name)
-    if base is not None:
-        entry["baseline_seconds"] = base
-        entry["speedup"] = round(base / seconds, 2) if seconds > 0 else None
+    if base is None:
+        # No pre-fast-path baseline recorded (bench added later): fall back
+        # to the bench's first-ever recorded time so every entry carries a
+        # comparable baseline/speedup pair rather than silently omitting it.
+        prev = prior.get(name, {})
+        base = prev.get("baseline_seconds") or prev.get("seconds") or seconds
+    entry["baseline_seconds"] = base
+    entry["speedup"] = round(base / seconds, 2) if seconds > 0 else None
     cycles = _cycles.get(name)
     if cycles:
         entry["cycles"] = cycles
@@ -123,14 +128,14 @@ def pytest_sessionfinish(session, exitstatus):
         return
     baseline = load_baseline()
     for kind in ("sim", "checker"):
+        merged = load_snapshot(kind)
         updates = {
-            name: _snapshot_entry(name, baseline)
+            name: _snapshot_entry(name, baseline, merged)
             for name in _durations
             if (_files[name] in SIM_FILES) == (kind == "sim")
         }
         if not updates:
             continue
-        merged = load_snapshot(kind)
         merged.update(updates)
         out = BENCH_DIR / f"BENCH_{kind}.json"
         out.write_text(json.dumps(dict(sorted(merged.items())), indent=2) + "\n")

@@ -12,6 +12,7 @@ Subcommands
                   of an algorithm's CWG, CDG, or ECDG;
 ``simulate``      run the wormhole simulator and print a latency/throughput row;
 ``sim-sweep``     fan a simulation grid across a process pool;
+``profile``       cProfile a named bench scenario and rank its hotspots;
 ``fuzz``          differential-fuzz the verifier stack (or replay the corpus);
 ``reverify``      apply deltas (link faults/repairs, table edits, VC adds) to an
                   algorithm and incrementally re-verify after each one;
@@ -356,6 +357,30 @@ def cmd_sim_sweep(args) -> int:
     return 1 if report.errors else 0
 
 
+def cmd_profile(args) -> int:
+    from .profiling import SCENARIOS, run_profile
+
+    if args.list:
+        width = max(len(n) for n in SCENARIOS)
+        for name in sorted(SCENARIOS):
+            print(f"{name.ljust(width)}  {SCENARIOS[name].description}")
+        return 0
+    if args.scenario is None:
+        raise SystemExit("profile: a scenario is required (or use --list)")
+    try:
+        report = run_profile(args.scenario, top=args.top, sort=args.sort)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    rendered = report.to_json() if args.format == "json" else report.to_text()
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(rendered if rendered.endswith("\n") else rendered + "\n")
+        print(f"wrote {args.format} profile of {args.scenario} to {args.output}")
+    else:
+        print(rendered)
+    return 0
+
+
 def cmd_fuzz(args) -> int:
     from .fuzz import (
         DEFAULT_FAMILIES,
@@ -649,14 +674,28 @@ def main(argv: list[str] | None = None) -> int:
     pw.add_argument("--seeds", default="1", help="comma-separated RNG seeds")
     pw.add_argument("--cycles", type=int, default=2500)
     pw.add_argument("--length", type=int, default=8, help="message length in flits")
-    pw.add_argument("--jobs", type=int, default=0,
-                    help="worker processes (0/1 = deterministic in-process)")
+    pw.add_argument("--jobs", type=int, default=None,
+                    help="worker processes (default: one per CPU core; "
+                         "0/1 = deterministic in-process)")
     pw.add_argument("--mesh-dims", default="8,8", help="dims for mesh algorithms")
     pw.add_argument("--torus-dims", default="8,8", help="dims for torus algorithms")
     pw.add_argument("--hypercube-dim", type=int, default=5,
                     help="dimension for hypercube algorithms")
     pw.add_argument("--format", default="table", choices=["table", "json"])
     pw.add_argument("--output", default=None, help="write the report to a file")
+
+    pp = sub.add_parser(
+        "profile",
+        help="profile a named bench scenario with cProfile and rank hotspots",
+    )
+    pp.add_argument("scenario", nargs="?", default=None,
+                    help="scenario name (see --list)")
+    pp.add_argument("--list", action="store_true", help="list scenarios and exit")
+    pp.add_argument("--top", type=int, default=20, help="hotspot rows to report")
+    pp.add_argument("--sort", default="cumulative",
+                    choices=["cumulative", "tottime", "ncalls"])
+    pp.add_argument("--format", default="text", choices=["text", "json"])
+    pp.add_argument("--output", default=None, help="write the report to a file")
 
     pf = sub.add_parser(
         "fuzz",
@@ -738,6 +777,7 @@ def main(argv: list[str] | None = None) -> int:
         "graph-stats": cmd_graph_stats,
         "simulate": cmd_simulate,
         "sim-sweep": cmd_sim_sweep,
+        "profile": cmd_profile,
         "fuzz": cmd_fuzz,
         "reverify": cmd_reverify,
         "serve": cmd_serve,

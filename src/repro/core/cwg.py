@@ -44,7 +44,7 @@ class ChannelWaitingGraph:
         #: the integer-indexed kernel all checkers execute on
         self.dep: DepGraph = DepGraph(
             algorithm.network,
-            self.transitions.collect_edge_dests(lambda dt: dt.downstream_wait),
+            self.transitions.collect_edge_dests(lambda dt: dt.downstream_wait_masks),
         )
         self._edge_dests: dict[tuple[Channel, Channel], set[int]] | None = None
 

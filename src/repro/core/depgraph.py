@@ -236,7 +236,7 @@ class DepGraph:
     """
 
     __slots__ = ("network", "num_vertices", "indptr", "indices", "masks",
-                 "_scc", "_fingerprint")
+                 "_scc", "_rev", "_fingerprint")
 
     def __init__(self, network: Network, edge_masks: Mapping[tuple[int, int], int]) -> None:
         self.network = network
@@ -255,6 +255,7 @@ class DepGraph:
         self.indices = indices
         self.masks = masks
         self._scc: tuple[list[int], int] | None = None
+        self._rev: tuple[list[int], list[int]] | None = None
         self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------
@@ -459,23 +460,46 @@ class DepGraph:
     # ------------------------------------------------------------------
     # reachability helpers (the True-Cycle search's pruning substrate)
     # ------------------------------------------------------------------
+    def _reverse_csr(self) -> tuple[list[int], list[int]]:
+        """Cached transposed adjacency (counting sort; built once per graph)."""
+        if self._rev is None:
+            n = self.num_vertices
+            indptr, indices = self.indptr, self.indices
+            rindptr = [0] * (n + 1)
+            for v in indices:
+                rindptr[v + 1] += 1
+            for v in range(n):
+                rindptr[v + 1] += rindptr[v]
+            rindices = [0] * len(indices)
+            pos = list(rindptr)
+            for u in range(n):
+                for i in range(indptr[u], indptr[u + 1]):
+                    v = indices[i]
+                    rindices[pos[v]] = u
+                    pos[v] += 1
+            self._rev = (rindptr, rindices)
+        return self._rev
+
     def reverse_reachable(self, target: int, *, min_cid: int = 0) -> set[int]:
         """Cids with a path to ``target`` through vertices ``>= min_cid``.
 
         The canonical-rotation pruning of the True-Cycle search: a cycle
         canonicalized at ``target`` only visits cids at least ``target``,
         so segments waiting outside this set can never close the cycle.
+        The transposed adjacency is cached on the graph (one counting sort),
+        so per-target calls cost only the traversal -- the ``min_cid`` cut
+        is applied while walking instead of while building.
         """
-        rev: dict[int, list[int]] = {}
-        for u, v, _ in self.iter_edges():
-            if u >= min_cid and v >= min_cid:
-                rev.setdefault(v, []).append(u)
+        if target < min_cid or target >= self.num_vertices:
+            return set()
+        rindptr, rindices = self._reverse_csr()
         seen: set[int] = set()
         frontier = [target]
         while frontier:
             v = frontier.pop()
-            for u in rev.get(v, ()):
-                if u not in seen:
+            for i in range(rindptr[v], rindptr[v + 1]):
+                u = rindices[i]
+                if u >= min_cid and u not in seen:
                     seen.add(u)
                     frontier.append(u)
         return seen

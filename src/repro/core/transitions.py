@@ -24,15 +24,29 @@ and precomputes the derived sets the rest of :mod:`repro.core` consumes:
 
 Reachable-set computation runs on the SCC condensation so cyclic
 (nonminimal) relations cost the same as acyclic ones.
+
+The canonical derived representation is *cid bitmasks* (``succ_masks``,
+``wait_masks``, ``downstream_wait_masks``, ``upstream_masks``): one
+arbitrary-precision int per state, bit ``i`` set iff channel ``i`` is in the
+set.  The graph builders consume the masks directly
+(:meth:`TransitionCache.collect_edge_dests` never touches a
+:class:`~repro.topology.channel.Channel` object); the frozenset views
+(``downstream_wait`` / ``upstream``) are adapters materialized lazily for
+the consumers that still want objects.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Iterator, Mapping
+from typing import TYPE_CHECKING
 
+from .._kernel import forced_backend
 from ..routing.relation import RoutingAlgorithm
 from ..topology.channel import Channel
 from .depgraph import bits, tarjan_scc
+
+if TYPE_CHECKING:
+    import numpy as np  # noqa: F401  (typing only)
 
 
 class DestinationTransitions:
@@ -48,6 +62,12 @@ class DestinationTransitions:
         self.starts: list[Channel] = [
             net.injection_channel(n) for n in net.nodes if n != dest
         ]
+        # The default waiting set *is* the route set; skipping the second
+        # relation call halves the walk for every algorithm that does not
+        # override waiting_channels (same trick RouteTable._build uses).
+        default_wait = (
+            type(algorithm).waiting_channels is RoutingAlgorithm.waiting_channels
+        )
         # Forward BFS from the injection channels over the routing relation.
         frontier: list[Channel] = list(self.starts)
         seen: set[Channel] = set(frontier)
@@ -61,7 +81,8 @@ class DestinationTransitions:
                     continue
                 out = algorithm.route(c, node, dest)
                 self.succ[c] = out
-                self.wait[c] = algorithm.waiting_channels(c, node, dest)
+                self.wait[c] = out if default_wait \
+                    else algorithm.waiting_channels(c, node, dest)
                 for o in out:
                     if o not in seen:
                         seen.add(o)
@@ -69,15 +90,76 @@ class DestinationTransitions:
             frontier = nxt
         #: link channels a message headed to ``dest`` can occupy
         self.usable: frozenset[Channel] = frozenset(c for c in self.succ if c.is_link)
+        #: the same channels as sorted dense cids (the builders' index space)
+        self.usable_cids: list[int] = sorted(c.cid for c in self.usable)
+        self._succ_masks: dict[int, int] | None = None
+        self._wait_masks: dict[int, int] | None = None
+        self._downstream_wait_masks: dict[int, int] | None = None
+        self._upstream_masks: dict[int, int] | None = None
         self._downstream_wait: dict[Channel, frozenset[Channel]] | None = None
         self._upstream: dict[Channel, frozenset[Channel]] | None = None
 
     # ------------------------------------------------------------------
+    # cid-bitmask views (canonical for the graph builders)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _as_masks(sets: Mapping[Channel, frozenset[Channel]]) -> dict[int, int]:
+        out: dict[int, int] = {}
+        for c, members in sets.items():
+            m = 0
+            for w in members:
+                m |= 1 << w.cid
+            out[c.cid] = m
+        return out
+
+    @property
+    def succ_masks(self) -> dict[int, int]:
+        """``state cid -> bitmask of successor cids`` (all states)."""
+        if self._succ_masks is None:
+            self._succ_masks = self._as_masks(self.succ)
+        return self._succ_masks
+
+    @property
+    def wait_masks(self) -> dict[int, int]:
+        """``state cid -> bitmask of immediate waiting-channel cids``."""
+        if self._wait_masks is None:
+            self._wait_masks = self._as_masks(self.wait)
+        return self._wait_masks
+
+    @property
+    def downstream_wait_masks(self) -> dict[int, int]:
+        """``state cid -> bitmask`` form of :attr:`downstream_wait`."""
+        if self._downstream_wait_masks is None:
+            self._downstream_wait_masks = self._propagate(forward=True)
+        return self._downstream_wait_masks
+
+    @property
+    def upstream_masks(self) -> dict[int, int]:
+        """``state cid -> bitmask`` form of :attr:`upstream`."""
+        if self._upstream_masks is None:
+            self._upstream_masks = self._propagate(forward=False)
+        return self._upstream_masks
+
+    # ------------------------------------------------------------------
+    # frozenset adapter views
+    # ------------------------------------------------------------------
+    def _materialize(self, masks: dict[int, int]) -> dict[Channel, frozenset[Channel]]:
+        channel = self.algorithm.network.channel
+        memo: dict[int, frozenset[Channel]] = {}
+        out: dict[Channel, frozenset[Channel]] = {}
+        for c in self.succ:
+            m = masks[c.cid]
+            fs = memo.get(m)
+            if fs is None:
+                fs = memo[m] = frozenset(channel(b) for b in bits(m))
+            out[c] = fs
+        return out
+
     @property
     def downstream_wait(self) -> dict[Channel, frozenset[Channel]]:
         """CWG out-neighbourhoods: waiting sets over all reachable states."""
         if self._downstream_wait is None:
-            self._downstream_wait = self._propagate(forward=True)
+            self._downstream_wait = self._materialize(self.downstream_wait_masks)
         return self._downstream_wait
 
     @property
@@ -89,10 +171,10 @@ class DestinationTransitions:
         another message's waiting channel).
         """
         if self._upstream is None:
-            self._upstream = self._propagate(forward=False)
+            self._upstream = self._materialize(self.upstream_masks)
         return self._upstream
 
-    def _propagate(self, *, forward: bool) -> dict[Channel, frozenset[Channel]]:
+    def _propagate(self, *, forward: bool) -> dict[int, int]:
         """Reflexive-transitive closure aggregation over the SCC condensation.
 
         forward=True accumulates waiting sets downstream; forward=False
@@ -101,7 +183,7 @@ class DestinationTransitions:
         (labels in reverse topological order -- every inter-component edge
         points to a smaller label) replaces the networkx condensation, and
         the accumulated sets are cid bitmasks OR-ed along condensation
-        edges; components sharing a value share one frozenset at the end.
+        edges.  Returns ``state cid -> accumulated bitmask``.
         """
         states = list(self.succ)
         idx = {c: i for i, c in enumerate(states)}
@@ -123,14 +205,14 @@ class DestinationTransitions:
                 indptr[i + 1] = len(indices)
         labels, ncomp = tarjan_scc(n, indptr, indices)
         comp_val = [0] * ncomp
-        for i, c in enumerate(states):
-            if forward:
-                m = 0
-                for w in self.wait[c]:
-                    m |= 1 << w.cid
-                comp_val[labels[i]] |= m
-            elif c.is_link:
-                comp_val[labels[i]] |= 1 << c.cid
+        if forward:
+            wait_masks = self.wait_masks
+            for i, c in enumerate(states):
+                comp_val[labels[i]] |= wait_masks[c.cid]
+        else:
+            for i, c in enumerate(states):
+                if c.is_link:
+                    comp_val[labels[i]] |= 1 << c.cid
         # Successor components always carry smaller labels, so visiting
         # vertices by ascending component label reads only finalized values.
         for i in sorted(range(n), key=lambda v: labels[v]):
@@ -141,16 +223,7 @@ class DestinationTransitions:
                 if lj != li:
                     acc |= comp_val[lj]
             comp_val[li] = acc
-        channel = self.algorithm.network.channel
-        memo: dict[int, frozenset[Channel]] = {}
-        out: dict[Channel, frozenset[Channel]] = {}
-        for i, c in enumerate(states):
-            m = comp_val[labels[i]]
-            fs = memo.get(m)
-            if fs is None:
-                fs = memo[m] = frozenset(channel(b) for b in bits(m))
-            out[c] = fs
-        return out
+        return {c.cid: comp_val[labels[i]] for i, c in enumerate(states)}
 
     def reachable_from(self, start: Channel) -> frozenset[Channel]:
         """States reachable from ``start`` (inclusive)."""
@@ -199,26 +272,95 @@ class TransitionCache:
 
     def collect_edge_dests(
         self,
-        targets: Callable[[DestinationTransitions], Mapping[Channel, frozenset[Channel]]],
+        targets: Callable[[DestinationTransitions], Mapping[int, int]],
     ) -> dict[tuple[int, int], int]:
         """Per-edge destination bitmasks over every destination's state walk.
 
         The one accumulation loop the CDG and CWG builders share:
         ``targets(dt)`` maps a destination's transitions to the per-state
-        out-neighbour mapping that defines the edge set -- ``dt.succ`` for
-        the CDG's immediate dependencies, ``dt.downstream_wait`` for the
-        CWG's occupy-while-waiting edges.  Returns ``(src_cid, dst_cid) ->
-        destination bitmask``, the exact input
-        :class:`~repro.core.depgraph.DepGraph` takes.
+        out-neighbour *bitmask* mapping that defines the edge set --
+        ``dt.succ_masks`` for the CDG's immediate dependencies,
+        ``dt.downstream_wait_masks`` for the CWG's occupy-while-waiting
+        edges.  Returns ``(src_cid, dst_cid) -> destination bitmask``, the
+        exact input :class:`~repro.core.depgraph.DepGraph` takes.
+
+        Under the NumPy backend the per-destination masks are unpacked to
+        bit matrices and the destination bits accumulated with a grouped
+        bitwise OR; the pure path walks the set bits directly.  Both produce
+        the same dict (the payload per edge is order-independent and
+        :class:`~repro.core.depgraph.DepGraph` sorts edges on ingest).
+
+        The pure walk is the default: target masks are sparse (a state has
+        few out-neighbours), so the dense unpack measures slower from
+        ~12x12 meshes up and neutral below (see EXPERIMENTS.md).  The
+        NumPy kernel runs only when ``REPRO_BACKEND=numpy`` pins it.
         """
+        if forced_backend() == "numpy":
+            return self._collect_edge_dests_numpy(targets)
         edges: dict[tuple[int, int], int] = {}
         get = edges.get
         for dt in self.all_destinations():
             bit = 1 << dt.dest
             tmap = targets(dt)
-            for c1 in dt.usable:
-                a = c1.cid
-                for c2 in tmap[c1]:
-                    k = (a, c2.cid)
+            for a in dt.usable_cids:
+                for b in bits(tmap[a]):
+                    k = (a, b)
                     edges[k] = get(k, 0) | bit
+        return edges
+
+    def _collect_edge_dests_numpy(
+        self,
+        targets: Callable[[DestinationTransitions], Mapping[int, int]],
+    ) -> dict[tuple[int, int], int]:
+        import numpy as np
+
+        num_ch = self.algorithm.network.num_channels
+        nbytes = (num_ch + 7) // 8
+        src_parts: list[np.ndarray] = []
+        dst_parts: list[np.ndarray] = []
+        dest_parts: list[np.ndarray] = []
+        for dt in self.all_destinations():
+            cids = dt.usable_cids
+            if not cids:
+                continue
+            tmap = targets(dt)
+            packed = b"".join(tmap[a].to_bytes(nbytes, "little") for a in cids)
+            bitmat = np.unpackbits(
+                np.frombuffer(packed, np.uint8).reshape(len(cids), nbytes),
+                axis=1, bitorder="little",
+            )
+            rows, cols = np.nonzero(bitmat)
+            if rows.size == 0:
+                continue
+            src_parts.append(np.asarray(cids, np.int64)[rows])
+            dst_parts.append(cols.astype(np.int64))
+            dest_parts.append(np.full(rows.size, dt.dest, np.int64))
+        if not src_parts:
+            return {}
+        src = np.concatenate(src_parts)
+        dst = np.concatenate(dst_parts)
+        dest = np.concatenate(dest_parts)
+        key = src * num_ch + dst
+        order = np.argsort(key, kind="stable")
+        key = key[order]
+        dest = dest[order]
+        group_starts = np.flatnonzero(np.r_[True, key[1:] != key[:-1]])
+        uniq_key = key[group_starts]
+        # destination bitmasks in 64-bit lanes, OR-ed per edge group
+        nlanes = (int(dest.max()) >> 6) + 1
+        lane_vals: list[np.ndarray] = []
+        for lane in range(nlanes):
+            in_lane = (dest >> 6) == lane
+            vals = np.where(
+                in_lane, np.uint64(1) << (dest & 63).astype(np.uint64), np.uint64(0)
+            )
+            lane_vals.append(np.bitwise_or.reduceat(vals, group_starts))
+        edges: dict[tuple[int, int], int] = {}
+        srcs = (uniq_key // num_ch).tolist()
+        dsts = (uniq_key % num_ch).tolist()
+        for i, (a, b) in enumerate(zip(srcs, dsts)):
+            m = 0
+            for lane in range(nlanes):
+                m |= int(lane_vals[lane][i]) << (lane * 64)
+            edges[(a, b)] = m
         return edges

@@ -40,7 +40,7 @@ class ChannelDependencyGraph:
         #: the integer-indexed kernel all checkers execute on
         self.dep: DepGraph = DepGraph(
             algorithm.network,
-            self.transitions.collect_edge_dests(lambda dt: dt.succ),
+            self.transitions.collect_edge_dests(lambda dt: dt.succ_masks),
         )
         self._edge_dests: dict[tuple[Channel, Channel], set[int]] | None = None
 

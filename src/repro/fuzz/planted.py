@@ -72,7 +72,7 @@ class ImmediateWaitCWG(ChannelWaitingGraph):
         self.transitions = transitions or TransitionCache(algorithm)
         self.dep = DepGraph(
             algorithm.network,
-            self.transitions.collect_edge_dests(lambda dt: dt.wait),
+            self.transitions.collect_edge_dests(lambda dt: dt.wait_masks),
         )
         self._edge_dests = None
 

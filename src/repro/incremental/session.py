@@ -44,7 +44,7 @@ from typing import Any
 
 from ..analyze.screens import triage, triage_verdict
 from ..core.cwg import ChannelWaitingGraph
-from ..core.depgraph import DepGraph
+from ..core.depgraph import DepGraph, bits
 from ..core.transitions import DestinationTransitions, TransitionCache
 from ..deps.cdg import ChannelDependencyGraph
 from ..pipeline.cache import VerificationCache, cached_verdict, verdicts_digest
@@ -227,13 +227,13 @@ class IncrementalSession:
         self._fp_segments.pop(dest, None)
         cw: set[tuple[int, int]] = set()
         cd: set[tuple[int, int]] = set()
-        dw = dt.downstream_wait
-        for c1 in dt.usable:
-            a = c1.cid
-            for c2 in dw[c1]:
-                cw.add((a, c2.cid))
-            for c2 in dt.succ[c1]:
-                cd.add((a, c2.cid))
+        dw = dt.downstream_wait_masks
+        succ_masks = dt.succ_masks
+        for a in dt.usable_cids:
+            for b in bits(dw[a]):
+                cw.add((a, b))
+            for b in bits(succ_masks[a]):
+                cd.add((a, b))
         self._cwg_edges[dest] = cw
         self._cdg_edges[dest] = cd
 

@@ -1,0 +1,221 @@
+"""``python -m repro profile``: cProfile over the named bench scenarios.
+
+The benchmark suite answers "how fast is it"; this module answers "where
+does the time go".  Each scenario is a small, deterministic slice of one
+of the repository's real workloads -- a simulator run, a full verification,
+a sweep -- sized to finish in seconds under the ~3x interpreter overhead
+cProfile adds.  The profiler wraps exactly the scenario body (no imports,
+no topology construction where the scenario declares it as setup), and the
+report surfaces the top-N hotspots by cumulative or total time as a text
+table or JSON.
+
+Profiled numbers are for *ranking* call sites, never for speedup claims:
+cProfile inflates Python-heavy frames far more than NumPy-heavy ones, so
+EXPERIMENTS.md records only wall-clock (``time.perf_counter``) figures.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import pstats
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+#: sort keys accepted by ``--sort`` (pstats names)
+SORT_KEYS = ("cumulative", "tottime", "ncalls")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, deterministic workload slice: ``setup() -> body``."""
+
+    name: str
+    description: str
+    #: returns the zero-argument body the profiler will wrap
+    setup: Callable[[], Callable[[], Any]]
+
+
+def _sim_scenario(algorithm: str, topology: str, dims: tuple[int, ...] | None,
+                  vcs: int | None, pattern: str, rate: float, cycles: int) -> Scenario:
+    def setup() -> Callable[[], Any]:
+        from .sim import SimPoint
+
+        point = SimPoint(
+            algorithm=algorithm, topology=topology, dims=dims, vcs=vcs,
+            pattern=pattern, rate=rate, seed=3, cycles=cycles,
+        )
+        sim = point.build()  # construction stays outside the profile
+
+        def body() -> Any:
+            sim.run(cycles)
+            return sim.stats.digest()
+
+        return body
+
+    dd = ",".join(map(str, dims)) if dims else "-"
+    return Scenario(
+        name=f"sim-{algorithm}",
+        description=(
+            f"simulate {algorithm}@{topology}({dd}) {pattern} "
+            f"rate={rate} for {cycles} cycles"
+        ),
+        setup=setup,
+    )
+
+
+def _verify_scenario(algorithm: str, dims: tuple[int, ...] | None) -> Scenario:
+    def setup() -> Callable[[], Any]:
+        from .pipeline import build_topology
+        from .routing import CATALOG, make
+
+        entry = CATALOG[algorithm]
+        net = build_topology(entry.topology, dims, entry.min_vcs)
+        ra = make(algorithm, net)
+
+        def body() -> Any:
+            from .verify import verify
+
+            return verify(ra)
+
+        return body
+
+    dd = ",".join(map(str, dims)) if dims else "-"
+    return Scenario(
+        name=f"verify-{algorithm}",
+        description=f"full deadlock-freedom verification of {algorithm} ({dd})",
+        setup=setup,
+    )
+
+
+def _sweep_scenario() -> Scenario:
+    def setup() -> Callable[[], Any]:
+        from .sim import SweepRunner, clear_build_cache, grid_points
+
+        clear_build_cache()
+        points = grid_points(
+            ["e-cube-mesh", "duato-mesh"],
+            rates=(0.1, 0.2), seeds=(3,), cycles=400, mesh_dims=(4, 4),
+        )
+
+        def body() -> Any:
+            return SweepRunner(workers=0).run(points).digests()
+
+        return body
+
+    return Scenario(
+        name="sweep-smoke",
+        description="in-process 4-point sweep over two mesh algorithms",
+        setup=setup,
+    )
+
+
+SCENARIOS: dict[str, Scenario] = {
+    s.name: s
+    for s in (
+        _sim_scenario("e-cube-mesh", "mesh", (8, 8), None, "uniform", 0.3, 800),
+        _sim_scenario("duato-mesh", "mesh", (8, 8), 2, "transpose", 0.3, 800),
+        _sim_scenario("enhanced-fully-adaptive", "hypercube", (5,), 2,
+                      "bit-reverse", 0.25, 800),
+        _verify_scenario("duato-mesh", (8, 8)),
+        _verify_scenario("enhanced-fully-adaptive", (4,)),
+        _sweep_scenario(),
+    )
+}
+
+
+@dataclass
+class Hotspot:
+    """One pstats row of the top-N report."""
+
+    function: str
+    ncalls: int
+    tottime: float
+    cumtime: float
+
+
+@dataclass
+class ProfileReport:
+    """Outcome of profiling one scenario."""
+
+    scenario: str
+    description: str
+    seconds: float
+    total_calls: int
+    sort: str
+    hotspots: list[Hotspot] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        lines = [
+            f"scenario: {self.scenario} -- {self.description}",
+            f"wall: {self.seconds:.3f}s under cProfile "
+            f"({self.total_calls} calls; ranking only, not a speedup figure)",
+            "",
+            f"{'ncalls':>10} {'tottime':>9} {'cumtime':>9}  function (by {self.sort})",
+        ]
+        for h in self.hotspots:
+            lines.append(
+                f"{h.ncalls:>10} {h.tottime:>9.4f} {h.cumtime:>9.4f}  {h.function}"
+            )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "scenario": self.scenario,
+            "description": self.description,
+            "seconds": round(self.seconds, 6),
+            "total_calls": self.total_calls,
+            "sort": self.sort,
+            "hotspots": [
+                {
+                    "function": h.function,
+                    "ncalls": h.ncalls,
+                    "tottime": round(h.tottime, 6),
+                    "cumtime": round(h.cumtime, 6),
+                }
+                for h in self.hotspots
+            ],
+        }, indent=2)
+
+
+def run_profile(scenario: str, *, top: int = 20, sort: str = "cumulative") -> ProfileReport:
+    """Profile one named scenario and return its top-``top`` hotspots."""
+    if scenario not in SCENARIOS:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ValueError(f"unknown scenario {scenario!r}; known: {known}")
+    if sort not in SORT_KEYS:
+        raise ValueError(f"unknown sort key {sort!r}; known: {', '.join(SORT_KEYS)}")
+    spec = SCENARIOS[scenario]
+    body = spec.setup()
+    profiler = cProfile.Profile()
+    t0 = time.perf_counter()
+    profiler.enable()
+    try:
+        body()
+    finally:
+        profiler.disable()
+    seconds = time.perf_counter() - t0
+    stats = pstats.Stats(profiler, stream=io.StringIO())
+    stats.sort_stats(sort)
+    report = ProfileReport(
+        scenario=scenario,
+        description=spec.description,
+        seconds=seconds,
+        total_calls=int(stats.total_calls),
+        sort=sort,
+    )
+    for func in stats.fcn_list[:top] if stats.fcn_list else []:
+        cc, nc, tt, ct, _callers = stats.stats[func]
+        filename, lineno, name = func
+        if filename.startswith("~"):
+            where = name  # builtins print as e.g. "<method 'append' of ...>"
+        else:
+            short = "/".join(filename.rsplit("/", 2)[-2:])
+            where = f"{short}:{lineno}({name})"
+        report.hotspots.append(
+            Hotspot(function=where, ncalls=int(nc), tottime=tt, cumtime=ct)
+        )
+    return report

@@ -235,6 +235,11 @@ class RouteTable:
         self.hits = 0
         self.misses = 0
 
+    @property
+    def dist(self) -> list[list[int]] | None:
+        """The distance matrix the candidate ordering was built with."""
+        return self._dist
+
     def entry(self, c_in_cid: int, dest: int) -> RouteEntry:
         """The cached decision for a header that arrived on ``c_in_cid``."""
         idx = c_in_cid * self._num_nodes + dest

@@ -15,6 +15,7 @@ from .sweep import (
     SimPoint,
     SweepReport,
     SweepRunner,
+    clear_build_cache,
     grid_points,
     run_point,
     sweep_table,
@@ -53,6 +54,7 @@ __all__ = [
     "WormholeSimulator",
     "bit_complement_pattern",
     "bit_reverse_pattern",
+    "clear_build_cache",
     "grid_points",
     "hotspot_pattern",
     "run_point",

@@ -14,11 +14,22 @@ Every point carries per-stage timers and the engine's fast-path counters
 ``SimStats.digest()`` rides along so two sweeps -- serial or parallel, any
 worker count -- can be compared for bit-identical behavior.
 
+Grid points that differ only in their traffic axes (pattern, load, seed)
+share one network, routing algorithm, and lazily-filled
+:class:`~repro.routing.relation.RouteTable` through a per-process build
+memo: route-table entries are a pure function of (algorithm, candidate
+ordering), so a warm table changes nothing behaviorally while eliminating
+the repeated ``route()`` calls that otherwise dominate point startup.
+:class:`SweepRunner` prewarms the memo in the parent before starting its
+pool, so on fork-based platforms every worker inherits the shared
+read-mostly structures as copy-on-write pages.
+
 CLI: ``python -m repro sim-sweep`` (see ``--help``).
 """
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -26,9 +37,34 @@ from typing import Any
 
 from ..pipeline.observability import StageMetrics
 from ..routing.catalog import CATALOG, make
+from ..routing.relation import RouteTable
+from ..topology.network import Network
 from .config import SimConfig
 from .engine import WormholeSimulator
 from .traffic import BernoulliTraffic
+
+#: per-process memo of the expensive immutable build products, keyed by a
+#: grid point's network/algorithm axes
+_BuildKey = tuple[str, str, tuple[int, ...] | None, int | None]
+_BUILD_CACHE: dict[_BuildKey, tuple[Network, Any, RouteTable]] = {}
+
+
+def clear_build_cache() -> None:
+    """Drop the per-process build memo (tests use this for cold-start runs)."""
+    _BUILD_CACHE.clear()
+
+
+def _shared_parts(point: SimPoint) -> tuple[Network, Any, RouteTable]:
+    key = (point.algorithm, point.topology, point.dims, point.vcs)
+    parts = _BUILD_CACHE.get(key)
+    if parts is None:
+        from ..pipeline.engine import build_topology
+
+        net = build_topology(point.topology, point.dims, point.vcs)
+        ra = make(point.algorithm, net)
+        table = RouteTable(ra, dist=net.shortest_distances())
+        parts = _BUILD_CACHE[key] = (net, ra, table)
+    return parts
 
 
 @dataclass(frozen=True)
@@ -49,10 +85,7 @@ class SimPoint:
     deadlock_check_interval: int = 128
 
     def build(self) -> WormholeSimulator:
-        from ..pipeline.engine import build_topology
-
-        net = build_topology(self.topology, self.dims, self.vcs)
-        ra = make(self.algorithm, net)
+        net, ra, table = _shared_parts(self)
         traffic = BernoulliTraffic(
             net, rate=self.rate, pattern=self.pattern,
             length=self.length, stop_at=self.cycles,
@@ -62,7 +95,7 @@ class SimPoint:
             buffer_depth=self.buffer_depth,
             deadlock_check_interval=self.deadlock_check_interval,
         )
-        return WormholeSimulator(ra, traffic, config)
+        return WormholeSimulator(ra, traffic, config, route_table=table)
 
     def describe(self) -> str:
         dims = ",".join(map(str, self.dims)) if self.dims else "-"
@@ -192,18 +225,21 @@ def run_point(point: SimPoint) -> PointResult:
 
 
 class SweepRunner:
-    """Runs grid points serially or on a process pool.
+    """Runs grid points serially or on a core-saturating process pool.
 
-    ``workers`` of ``None``, 0, or 1 selects the deterministic in-process
-    mode; ``n > 1`` a ``ProcessPoolExecutor``.  Pool failures degrade to
-    in-process execution of the affected points, so a sweep always yields
-    one result per point, in point order -- and because each point is an
-    independent deterministic simulation, serial and parallel sweeps
-    produce identical digests.
+    ``workers=None`` (the default) sizes the pool to the machine: one
+    worker per available CPU core.  0 or 1 selects the deterministic
+    in-process mode; ``n > 1`` a ``ProcessPoolExecutor``.  Pool failures
+    degrade to in-process execution of the affected points, so a sweep
+    always yields one result per point, in point order -- and because each
+    point is an independent deterministic simulation, serial and parallel
+    sweeps produce identical digests (the tests pin this).
     """
 
     def __init__(self, *, workers: int | None = None) -> None:
-        self.workers = int(workers or 0)
+        if workers is None:
+            workers = os.cpu_count() or 1
+        self.workers = int(workers)
 
     def run(self, points: list[SimPoint]) -> SweepReport:
         t0 = time.perf_counter()
@@ -222,6 +258,14 @@ class SweepRunner:
         )
 
     def _run_pool(self, points: list[SimPoint]) -> list[PointResult]:
+        # Prewarm the build memo before the pool exists: fork-started
+        # workers then inherit every distinct network/algorithm/route-table
+        # triple as shared copy-on-write pages instead of rebuilding them.
+        for p in points:
+            try:
+                _shared_parts(p)
+            except Exception:
+                pass  # the point itself will report the build error
         try:
             with ProcessPoolExecutor(max_workers=self.workers) as pool:
                 futures = [pool.submit(run_point, p) for p in points]

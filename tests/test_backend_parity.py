@@ -1,0 +1,155 @@
+"""The NumPy kernels must be byte-identical to the pure-Python reference.
+
+Three layers of evidence, each parametrized over both backends:
+
+* the golden-digest matrix (a representative subset -- the full 18-case
+  matrix runs in ``test_sim_determinism.py`` under the ambient backend and
+  in CI's ``perf-smoke`` job under each forced backend);
+* Hypothesis: random small simulations, run once per backend with the
+  backend forced through ``SimConfig.backend``, must agree flit-for-flit
+  (same ``SimStats.digest``);
+* the checker's batched edge-collection: CWG/CDG kernels and the
+  mask-vs-frozenset adapter views must agree exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import _kernel
+from repro.core.cwg import ChannelWaitingGraph
+from repro.core.depgraph import bits
+from repro.deps.cdg import ChannelDependencyGraph
+from repro.routing import CATALOG, make
+from repro.sim import BernoulliTraffic, SimConfig, WormholeSimulator
+from repro.topology import build_hypercube, build_mesh
+from tests import golden_matrix
+
+BACKENDS = ("pure", "numpy")
+
+#: golden cases covering every behavior axis the kernels touch: adaptive vs
+#: deterministic routing, specific waiting, faults, non-default selection,
+#: buffer depth 2, ejection rate 2, and all three topologies
+PARITY_CASES = (
+    "duato-mesh-u17",
+    "duato-mesh-depth2",
+    "duato-mesh-eject2",
+    "duato-mesh-lowvc",
+    "duato-torus-u7",
+    "ecube-mesh-u42",
+    "efa-cube-u17",
+    "hpl-specific-u11",
+    "hpl-fault-reroute",
+    "west-first-t9",
+)
+
+
+def _force(monkeypatch, backend: str) -> None:
+    if backend == "numpy" and not _kernel.HAVE_NUMPY:
+        pytest.skip("numpy not installed")
+    monkeypatch.delenv("REPRO_NO_NUMPY", raising=False)
+    monkeypatch.setenv("REPRO_BACKEND", backend)
+    # force the engine's size-based auto-selection too: tiny golden
+    # networks would otherwise stay pure under both parametrizations
+    monkeypatch.setenv("REPRO_SIM_NUMPY_MIN_CHANNELS", "0")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("case", PARITY_CASES)
+def test_golden_digest_under_backend(case, backend, monkeypatch):
+    _force(monkeypatch, backend)
+    recorded = golden_matrix.load_fixture()
+    assert golden_matrix.run_case(case) == recorded[case]
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: random small sims agree under both backends
+# ----------------------------------------------------------------------
+_SIM_AXES = st.tuples(
+    st.sampled_from(["duato-mesh", "e-cube-mesh", "west-first", "duato-hypercube"]),
+    st.integers(min_value=0, max_value=2**16),   # seed
+    st.integers(min_value=5, max_value=35),      # rate (percent)
+    st.sampled_from(["uniform", "transpose", "bit-reverse"]),
+    st.integers(min_value=2, max_value=4),       # buffer depth
+)
+
+
+def _digest(algorithm: str, seed: int, rate: float, pattern: str,
+            depth: int, backend: str) -> str:
+    entry = CATALOG[algorithm]
+    if entry.topology == "mesh":
+        net = build_mesh((4, 4), num_vcs=entry.min_vcs)
+    else:
+        net = build_hypercube(3, num_vcs=entry.min_vcs)
+    ra = make(algorithm, net)
+    traffic = BernoulliTraffic(net, rate=rate, pattern=pattern, length=5, stop_at=120)
+    config = SimConfig(
+        seed=seed, buffer_depth=depth, deadlock_check_interval=16, backend=backend,
+    )
+    sim = WormholeSimulator(ra, traffic, config)
+    sim.run(150)
+    sim.drain(3000)
+    return sim.stats.digest()
+
+
+@pytest.mark.skipif(not _kernel.HAVE_NUMPY, reason="numpy not installed")
+@settings(max_examples=20, deadline=None)
+@given(_SIM_AXES)
+def test_random_sim_digests_agree_across_backends(axes):
+    algorithm, seed, rate_pct, pattern, depth = axes
+    if pattern == "transpose" and CATALOG[algorithm].topology != "mesh":
+        pattern = "uniform"
+    rate = rate_pct / 100.0
+    pure = _digest(algorithm, seed, rate, pattern, depth, "pure")
+    vec = _digest(algorithm, seed, rate, pattern, depth, "numpy")
+    assert pure == vec
+
+
+# ----------------------------------------------------------------------
+# checker: batched edge collection and adapter views
+# ----------------------------------------------------------------------
+_CHECKER_ALGOS = ("duato-mesh", "highest-positive-last", "enhanced-fully-adaptive")
+
+
+def _build_graphs(algorithm: str):
+    entry = CATALOG[algorithm]
+    if entry.topology == "mesh":
+        net = build_mesh((4, 4), num_vcs=entry.min_vcs)
+    else:
+        net = build_hypercube(3, num_vcs=entry.min_vcs)
+    ra = make(algorithm, net)
+    cwg = ChannelWaitingGraph(ra)
+    cdg = ChannelDependencyGraph(ra, transitions=cwg.transitions)
+    return cwg, cdg
+
+
+@pytest.mark.skipif(not _kernel.HAVE_NUMPY, reason="numpy not installed")
+@pytest.mark.parametrize("algorithm", _CHECKER_ALGOS)
+def test_edge_collection_agrees_across_backends(algorithm, monkeypatch):
+    monkeypatch.delenv("REPRO_NO_NUMPY", raising=False)
+    monkeypatch.setenv("REPRO_BACKEND", "pure")
+    cwg_p, cdg_p = _build_graphs(algorithm)
+    monkeypatch.setenv("REPRO_BACKEND", "numpy")
+    cwg_n, cdg_n = _build_graphs(algorithm)
+    assert list(cwg_p.dep.iter_edges()) == list(cwg_n.dep.iter_edges())
+    assert list(cdg_p.dep.iter_edges()) == list(cdg_n.dep.iter_edges())
+    assert cwg_p.dep.fingerprint() == cwg_n.dep.fingerprint()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_mask_views_match_frozenset_adapters(backend, monkeypatch):
+    _force(monkeypatch, backend)
+    cwg, _ = _build_graphs("duato-mesh")
+    tc = cwg.transitions
+    net = tc.algorithm.network
+    for dest in (0, 5, 12):
+        dt = tc[dest]
+        dw_masks = dt.downstream_wait_masks
+        up_masks = dt.upstream_masks
+        for cid in dt.usable_cids:
+            assert {c.cid for c in dt.downstream_wait[net.channel(cid)]} \
+                == set(bits(dw_masks[cid]))
+            assert {c.cid for c in dt.upstream[net.channel(cid)]} \
+                == set(bits(up_masks[cid]))

@@ -8,6 +8,7 @@ from repro.__main__ import main
 from repro.sim import (
     SimPoint,
     SweepRunner,
+    clear_build_cache,
     grid_points,
     run_point,
     sweep_table,
@@ -45,12 +46,22 @@ def test_grid_points_crosses_all_axes():
 
 
 def test_run_point_reports_stats_and_counters():
+    clear_build_cache()  # cold start: the route table must report misses
     r = run_point(POINTS[0])
     assert r.ok and r.digest and r.seconds > 0 and r.cycles_per_sec > 0
     assert r.messages_delivered > 0
     assert r.metrics["counters"]["cycles"] == 600
     assert r.metrics["counters"]["route_table_misses"] > 0
     assert set(r.metrics["timers"]) == {"build", "run", "summarize"}
+
+
+def test_shared_route_table_is_behaviorally_invisible():
+    clear_build_cache()
+    cold = run_point(POINTS[0])
+    warm = run_point(POINTS[0])  # same axes: reuses the memoized route table
+    assert warm.digest == cold.digest
+    assert warm.metrics["counters"]["route_table_misses"] == 0
+    assert warm.metrics["counters"]["route_table_hits"] > 0
 
 
 def test_run_point_error_is_result_not_crash():
