@@ -84,6 +84,7 @@ def test_scaling_efa_hypercubes(benchmark, once, table):
 #: topologies, pinned before the depgraph-kernel refactor -- the checkers
 #: may get faster, never different.
 EXPECTED_SMOKE_VERDICTS = {
+    "adaptive-mesh3d": (True, True),
     "dally-seitz-torus": (True, False),
     "draper-ghosh-meca": (True, True),
     "duato-hypercube": (True, True),
@@ -97,6 +98,8 @@ EXPECTED_SMOKE_VERDICTS = {
     "li-hypercube": (True, False),
     "negative-first": (True, True),
     "north-last": (True, True),
+    "pillar-diag-3d": (False, False),
+    "pillar-wall-3d": (True, True),
     "relaxed-efa": (False, False),
     "ring-figure4": (True, False),
     "unrestricted-minimal": (False, False),
@@ -109,9 +112,11 @@ EXPECTED_SMOKE_VERDICTS = {
 def test_checker_smoke_quick(benchmark, once, table):
     """The CI checker tier: Theorem + Duato verdicts on the whole catalog.
 
-    Small topologies (3x3 mesh / 4x4 torus / 3-cube) keep it to a couple of
-    seconds; the full 18-algorithm verdict matrix is asserted against the
-    values pinned before the depgraph-kernel refactor.  Doubles as the perf
+    Small topologies (3x3 mesh / 4x4 torus / 3-cube, plus the canonical
+    3x3x3 instances of the 3D scenarios) keep it to a couple of seconds;
+    the full 21-algorithm verdict matrix is asserted against the pinned
+    values (the original 18 recorded before the depgraph-kernel refactor,
+    the 3D rows when they were registered).  Doubles as the perf
     regression guard: wall time must stay within a generous factor of the
     recorded pre-kernel baseline in ``BASELINE.json`` -- loose enough for
     runner-to-runner variance, tight enough to catch a return to the

@@ -30,7 +30,8 @@ BENCH_DIR = Path(__file__).resolve().parent
 BASELINE_FILE = BENCH_DIR / "BASELINE.json"
 
 #: benches whose cost is dominated by the flit-level simulator
-SIM_FILES = ("bench_sim_mesh.py", "bench_sim_hypercube.py", "bench_deadlock_empirical.py")
+SIM_FILES = ("bench_sim_mesh.py", "bench_sim_hypercube.py", "bench_sim_3d.py",
+             "bench_deadlock_empirical.py")
 
 #: bench name -> wall seconds of the passing "call" phase, this session
 _durations: dict[str, float] = {}

@@ -7,6 +7,8 @@ Subcommands
 ``lint``          static-analyze routing relations: rule pack, triage screens,
                   text/JSON/SARIF output with baseline suppression;
 ``catalog``       list the routing algorithms and their certified properties;
+``scenarios``     list the scenario registry (topology, VCs, selection policy,
+                  certifying theorem, pinned verdict) as text or JSON;
 ``dot``           emit the CWG or CDG of an algorithm as Graphviz DOT;
 ``graph-stats``   print the kernel summary (SCCs, acyclicity, fingerprint)
                   of an algorithm's CWG, CDG, or ECDG;
@@ -73,18 +75,53 @@ def _build_network(args) -> object:
         raise SystemExit(str(exc)) from None
 
 
+def _topology_spec(args):
+    """Resolve the common --topology/--dims/--vcs flags to a TopologySpec."""
+    from .scenario import TopologySpec
+
+    topo = args.topology
+    if isinstance(topo, str):
+        topo = TopologySpec.parse(topo)
+    dims = _parse_dims(args.dims, "--dims") if args.dims else None
+    return topo.with_dims(dims).with_vcs(args.vcs)
+
+
 def _default_vcs(name: str) -> int:
     return CATALOG[name].min_vcs if name in CATALOG else 1
 
 
 def cmd_catalog(args) -> int:
     width = max(len(n) for n in CATALOG)
-    print(f"{'name'.ljust(width)}  topo       vcs  adaptivity   safe  certified by")
+    tw = max(len("topo"), *(len(e.family) for e in CATALOG.values()))
+    print(f"{'name'.ljust(width)}  {'topo'.ljust(tw)}  vcs  adaptivity   safe  certified by")
     for name in sorted(CATALOG):
         e = CATALOG[name]
         print(
-            f"{name.ljust(width)}  {e.topology:<9}  {e.min_vcs:<3}  "
+            f"{name.ljust(width)}  {e.family.ljust(tw)}  {e.min_vcs:<3}  "
             f"{e.adaptivity:<11}  {'yes' if e.deadlock_free else 'NO ':<4}  {e.certified_by}"
+        )
+    return 0
+
+
+def cmd_scenarios(args) -> int:
+    """List the scenario registry: the single source of reproducible setups."""
+    from .scenario import all_specs
+
+    specs = list(all_specs())
+    if args.format == "json":
+        import json
+
+        print(json.dumps([s.to_json() for s in specs], indent=2))
+        return 0
+    width = max(len(s.name) for s in specs)
+    tw = max(len("topology"), *(len(s.topology.describe()) for s in specs))
+    print(f"{'name'.ljust(width)}  {'topology'.ljust(tw)}  vcs  "
+          f"{'selection'.ljust(12)}  {'adaptivity'.ljust(11)}  safe  certified by")
+    for s in specs:
+        print(
+            f"{s.name.ljust(width)}  {s.topology.describe().ljust(tw)}  {s.min_vcs:<3}  "
+            f"{s.selection:<12}  {s.adaptivity:<11}  "
+            f"{'yes' if s.deadlock_free else 'NO ':<4}  {s.certified_by}"
         )
     return 0
 
@@ -214,20 +251,17 @@ def cmd_lint(args) -> int:
         unknown = [n for n in names if n not in CATALOG]
         if unknown:
             raise SystemExit(f"unknown algorithms {unknown}; see `python -m repro catalog`")
-        dims_for = {
+        family_dims = {
             "mesh": _parse_dims(args.mesh_dims, "--mesh-dims"),
             "torus": _parse_dims(args.torus_dims, "--torus-dims"),
-            "hypercube": (args.hypercube_dim,),
-            "figure1": None,
-            "figure4": None,
+            "hypercube": args.hypercube_dim,
         }
         from .analyze import TargetReport
 
         for name in names:
             entry = CATALOG[name]
             try:
-                net = build_topology(entry.topology, dims_for[entry.topology],
-                                     entry.min_vcs)
+                net = build_topology(entry.topology_for(family_dims))
                 ra = make(name, net)
             except Exception as exc:
                 report.add(TargetReport(target=name, network="?", wait_policy="?",
@@ -427,9 +461,7 @@ def cmd_reverify(args) -> int:
 
     if args.vcs is None:
         args.vcs = _default_vcs(args.algorithm)
-    dims = _parse_dims(args.dims, "--dims") if args.dims else None
-    spec = JobSpec(algorithm=args.algorithm, topology=args.topology,
-                   dims=dims, vcs=args.vcs)
+    spec = JobSpec(algorithm=args.algorithm, topology=_topology_spec(args))
     try:
         deltas = [parse_delta(text) for text in (args.delta or [])]
     except ValueError as exc:
@@ -579,14 +611,22 @@ def main(argv: list[str] | None = None) -> int:
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
     sub = parser.add_subparsers(dest="command", required=True)
 
+    from .scenario import family_names
+
     def common(p):
         p.add_argument("--algorithm", required=True, choices=sorted(CATALOG))
-        p.add_argument("--topology", default=None,
-                       choices=["mesh", "torus", "hypercube", "figure1", "figure4"])
+        p.add_argument("--topology", default=None, choices=list(family_names()),
+                       help="topology family (default: the scenario's canonical one)")
         p.add_argument("--dims", default=None, help="comma-separated, e.g. 4,4 (hypercube: one number)")
         p.add_argument("--vcs", type=int, default=None, help="virtual channels per link")
 
     sub.add_parser("catalog", help="list routing algorithms")
+
+    pc = sub.add_parser(
+        "scenarios",
+        help="list the scenario registry (topology, VCs, selection, verdict)",
+    )
+    pc.add_argument("--format", default="text", choices=["text", "json"])
 
     pv = sub.add_parser("verify", help="run the deadlock-freedom verifiers")
     common(pv)
@@ -770,6 +810,7 @@ def main(argv: list[str] | None = None) -> int:
         args.topology = CATALOG[args.algorithm].topology
     return {
         "catalog": cmd_catalog,
+        "scenarios": cmd_scenarios,
         "verify": cmd_verify,
         "verify-batch": cmd_verify_batch,
         "lint": cmd_lint,

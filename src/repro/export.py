@@ -94,7 +94,8 @@ def batch_to_json(report: "BatchReport", *, indent: int = 2) -> str:
         "jobs": [
             {
                 "algorithm": j.spec.algorithm,
-                "topology": j.spec.topology,
+                "topology": j.spec.topology.family,
+                "topology_spec": j.spec.topology.describe(),
                 "dims": list(j.spec.dims) if j.spec.dims else None,
                 "vcs": j.spec.vcs,
                 "network": j.network,
@@ -131,12 +132,12 @@ def batch_to_csv(report: "BatchReport") -> str:
     ])
     for j in report.jobs:
         if not j.ok:
-            w.writerow([j.spec.algorithm, j.spec.topology, j.network,
+            w.writerow([j.spec.algorithm, j.spec.topology.family, j.network,
                         "ERROR", "", "", "", f"{j.seconds:.6f}", j.error])
             continue
         for r in j.results:
             w.writerow([
-                j.spec.algorithm, j.spec.topology, j.network, r.condition,
+                j.spec.algorithm, j.spec.topology.family, j.network, r.condition,
                 r.deadlock_free, r.necessary_and_sufficient, r.cached,
                 f"{r.seconds:.6f}", r.reason,
             ])
@@ -149,7 +150,7 @@ def batch_table(report: "BatchReport") -> str:
     rows: list[tuple[str, ...]] = []
     for j in report.jobs:
         if not j.ok:
-            rows.append((j.spec.algorithm, j.network or j.spec.topology,
+            rows.append((j.spec.algorithm, j.network or j.spec.topology.family,
                          "ERROR", "-", "-", "-", f"{j.seconds:.2f}s"))
             continue
         for r in j.results:

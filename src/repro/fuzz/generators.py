@@ -29,6 +29,12 @@ Families
     Dimension-order routing on VC class 0 plus a seeded *nonminimal* "wild"
     layer on VC class 1 of a small mesh -- the shape for which Duato-style
     escape-channel analysis needs indirect dependencies.
+``adaptive-3d``
+    A small 3D mesh -- dense, or pillar-sparse with a seeded kept-column
+    subset -- built through the scenario layer's :class:`TopologySpec`
+    codec and routed by the table-driven minimal-adaptive 3D relation
+    (escape on VC 0).  A seeded fraction of cases mutates the tables, so
+    the family lands on both sides of the escape-subfunction verdicts.
 """
 
 from __future__ import annotations
@@ -38,8 +44,10 @@ from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 from typing import Any
 
+from ..routing.adaptive3d import MinimalAdaptive3D
 from ..routing.catalog import CATALOG, make
 from ..routing.relation import NodeDestRouting, RoutingAlgorithm, WaitPolicy
+from ..scenario import TopologySpec
 from ..topology import build_hypercube, build_mesh, build_torus
 from ..topology.channel import Channel
 from ..topology.network import Network
@@ -428,27 +436,25 @@ def _family_faulty_hypercube(seed: int) -> RoutingAlgorithm:
 
 
 #: the catalog slice the mutation family draws from: small instances, both
-#: safe and unsafe parents, every waiting regime
-_MUTATION_PARENTS: tuple[tuple[str, str, tuple[int, ...] | None], ...] = (
-    ("e-cube-mesh", "mesh", (3, 3)),
-    ("west-first", "mesh", (3, 3)),
-    ("north-last", "mesh", (2, 3)),
-    ("negative-first", "mesh", (3, 3)),
-    ("highest-positive-last", "mesh", (2, 3)),
-    ("duato-mesh", "mesh", (2, 3)),
-    ("unrestricted-minimal", "mesh", (2, 3)),
-    ("e-cube", "hypercube", (3,)),
-    ("li-hypercube", "hypercube", (3,)),
+#: safe and unsafe parents, every waiting regime.  Topologies are scenario
+#: spec strings (VC count resolves per parent from the registry entry).
+_MUTATION_PARENTS: tuple[tuple[str, str], ...] = (
+    ("e-cube-mesh", "mesh:3x3"),
+    ("west-first", "mesh:3x3"),
+    ("north-last", "mesh:2x3"),
+    ("negative-first", "mesh:3x3"),
+    ("highest-positive-last", "mesh:2x3"),
+    ("duato-mesh", "mesh:2x3"),
+    ("unrestricted-minimal", "mesh:2x3"),
+    ("e-cube", "hypercube:3"),
+    ("li-hypercube", "hypercube:3"),
 )
 
 
 def _family_mutated_catalog(seed: int) -> RoutingAlgorithm:
-    name, topo, dims = _pick(seed, _MUTATION_PARENTS, "parent")
+    name, topo = _pick(seed, _MUTATION_PARENTS, "parent")
     entry = CATALOG[name]
-    if topo == "mesh":
-        net = build_mesh(dims, num_vcs=entry.min_vcs)
-    else:
-        net = build_hypercube(dims[0], num_vcs=entry.min_vcs)
+    net = TopologySpec.parse(topo).with_vcs(entry.min_vcs).build()
     return MutatedRouting(make(name, net), stable_bits(seed, "mut"))
 
 
@@ -471,6 +477,25 @@ def _family_escape_wild(seed: int) -> RoutingAlgorithm:
     return EscapeWildRouting(net, stable_bits(seed, "wild"))
 
 
+_MESH3D_DIMS = ((2, 2, 2), (3, 2, 2), (2, 3, 2), (2, 2, 3))
+
+
+def _family_adaptive_3d(seed: int) -> RoutingAlgorithm:
+    """A 3D scenario-layer case: dense or pillar-sparse, real or mutated."""
+    dims = _pick(seed, _MESH3D_DIMS, "dims")
+    side = "x".join(map(str, dims))
+    spec = f"mesh3d:{side}:v2"
+    if stable_bits(seed, "sparse") & 1:
+        columns = [(x, y) for x in range(dims[0]) for y in range(dims[1])]
+        kept = _nonempty_subset(seed, columns, "pillars")
+        joined = "+".join(f"{x}.{y}" for x, y in kept)
+        spec = f"sparse-pillar:{side}:v2:pillars={joined}"
+    base = MinimalAdaptive3D(TopologySpec.parse(spec).build())
+    if stable_bits(seed, "mutate") % 3 == 0:
+        return MutatedRouting(base, stable_bits(seed, "mut3d"))
+    return base
+
+
 FAMILIES = {
     "irregular": _family_irregular,
     "faulty-mesh": _family_faulty_mesh,
@@ -479,6 +504,7 @@ FAMILIES = {
     "mutated-catalog": _family_mutated_catalog,
     "arbitrary": _family_arbitrary,
     "escape-wild": _family_escape_wild,
+    "adaptive-3d": _family_adaptive_3d,
 }
 
 DEFAULT_FAMILIES = tuple(FAMILIES)

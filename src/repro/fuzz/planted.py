@@ -26,7 +26,10 @@ Variants
     escape layer create escape-to-escape dependencies a direct-only graph
     misses).  Duato applicability (coherent, minimal-path ``R(n,d)``) makes
     this one hard to trip generatively; it is pinned by unit tests showing
-    it is observably weaker than the real builder.
+    it is observably weaker than the real builder, and by a shipped corpus
+    control -- a coherent line-with-chords table whose planted escape cycle
+    is made of indirect dependencies only, where this variant claims
+    freedom while the theorem checker and the simulator prove deadlock.
 ``incremental-stale-scc``
     Runs the incremental-vs-full oracle with the session's dirty-frontier
     expansion disabled (``stale_scc=True``): link faults and repairs no

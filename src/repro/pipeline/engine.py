@@ -34,13 +34,7 @@ from ..analyze.screens import triage, triage_verdict
 from ..core.transitions import TransitionCache
 from ..routing.catalog import CATALOG, make
 from ..routing.relation import RoutingAlgorithm
-from ..topology import (
-    build_figure1_network,
-    build_figure4_ring,
-    build_hypercube,
-    build_mesh,
-    build_torus,
-)
+from ..scenario import TopologySpec
 from ..topology.network import Network
 from ..verify import dally_seitz, search_escape, verify
 from .cache import VerificationCache, cached_cwg, cached_verdict, slim_evidence
@@ -54,42 +48,71 @@ CONDITIONS = {
 }
 DEFAULT_CONDITIONS = ("theorem", "duato", "dally-seitz")
 
+#: verification-sized default dims per resizable family -- the instances the
+#: pinned verdict matrices have always used (callers may override)
+_DEFAULT_DIMS: dict[str, tuple[int, ...]] = {
+    "mesh": (4, 4),
+    "torus": (4, 4),
+    "hypercube": (3,),
+    "mesh3d": (3, 3, 3),
+    "sparse-pillar": (3, 3, 3),
+}
 
-def build_topology(topology: str, dims: tuple[int, ...] | None = None, vcs: int | None = None) -> Network:
-    """Instantiate a topology family by name (shared with the CLI)."""
-    if topology == "mesh":
-        return build_mesh(dims or (4, 4), num_vcs=vcs or 1)
-    if topology == "torus":
-        return build_torus(dims or (4, 4), num_vcs=vcs or 1)
-    if topology == "hypercube":
-        return build_hypercube((dims or (3,))[0], num_vcs=vcs or 1)
-    if topology == "figure1":
-        return build_figure1_network()
-    if topology == "figure4":
-        return build_figure4_ring()
-    raise ValueError(f"unknown topology {topology!r}")
+
+def build_topology(
+    topology: str | TopologySpec,
+    dims: tuple[int, ...] | None = None,
+    vcs: int | None = None,
+) -> Network:
+    """Instantiate a topology from a family name or spec string.
+
+    Thin shim over the scenario registry (shared with the CLI): ``topology``
+    may be a bare family name (``"mesh"``), a full
+    :class:`~repro.scenario.TopologySpec` string (``"mesh:4x4:v2"``), or an
+    already-parsed spec.  Explicit ``dims``/``vcs`` override the spec;
+    missing dims fall back to the family's verification-sized default.
+    """
+    spec = TopologySpec.parse(topology) if isinstance(topology, str) else topology
+    spec = spec.with_dims(dims).with_vcs(vcs)
+    if spec.dims is None and spec.family in _DEFAULT_DIMS:
+        spec = spec.with_dims(_DEFAULT_DIMS[spec.family])
+    return spec.build()
 
 
 @dataclass(frozen=True)
 class JobSpec:
-    """One (algorithm, topology) verification job -- plain picklable data."""
+    """One (algorithm, topology) verification job -- plain picklable data.
+
+    ``topology`` is a full :class:`~repro.scenario.TopologySpec`; the stable
+    string codec (``"mesh:3x3"``, ``"hypercube:3:v2"``) is accepted and
+    parsed, so hand-written specs stay one-liners.
+    """
 
     algorithm: str
-    topology: str
-    dims: tuple[int, ...] | None = None
-    vcs: int | None = None
+    topology: TopologySpec
     conditions: tuple[str, ...] = DEFAULT_CONDITIONS
     #: run the repro.analyze triage screens before the theorem checker and
     #: skip it when a screen decides (False forces the full check)
     triage: bool = True
 
+    def __post_init__(self) -> None:
+        if isinstance(self.topology, str):
+            object.__setattr__(self, "topology", TopologySpec.parse(self.topology))
+
+    @property
+    def dims(self) -> tuple[int, ...] | None:
+        return self.topology.dims
+
+    @property
+    def vcs(self) -> int | None:
+        return self.topology.vcs
+
     def build(self) -> RoutingAlgorithm:
-        net = build_topology(self.topology, self.dims, self.vcs)
+        net = build_topology(self.topology)
         return make(self.algorithm, net)
 
     def describe(self) -> str:
-        dims = ",".join(map(str, self.dims)) if self.dims else "-"
-        return f"{self.algorithm} on {self.topology}({dims}) x{self.vcs or 1}vc"
+        return f"{self.algorithm} on {self.topology.describe()}"
 
 
 def catalog_specs(
@@ -101,22 +124,24 @@ def catalog_specs(
     conditions: tuple[str, ...] = DEFAULT_CONDITIONS,
     triage: bool = True,
 ) -> list[JobSpec]:
-    """Job specs for (a subset of) the routing catalog on default topologies."""
-    dims_for = {
+    """Job specs for (a subset of) the scenario registry on default topologies.
+
+    Each spec's topology comes from the registered scenario's canonical
+    :class:`~repro.scenario.TopologySpec`, resized per family by the
+    ``*_dims`` arguments; families without an override (figure1/figure4 and
+    the 3D scenarios) keep their canonical instances.
+    """
+    family_dims: dict[str, tuple[int, ...] | int] = {
         "mesh": mesh_dims,
         "torus": torus_dims,
-        "hypercube": (hypercube_dim,),
-        "figure1": None,
-        "figure4": None,
+        "hypercube": hypercube_dim,
     }
     specs = []
     for name in sorted(names if names is not None else CATALOG):
         entry = CATALOG[name]
         specs.append(JobSpec(
             algorithm=name,
-            topology=entry.topology,
-            dims=dims_for[entry.topology],
-            vcs=entry.min_vcs,
+            topology=entry.topology_for(family_dims),
             conditions=conditions,
             triage=triage,
         ))

@@ -39,13 +39,14 @@ class Scenario:
     setup: Callable[[], Callable[[], Any]]
 
 
-def _sim_scenario(algorithm: str, topology: str, dims: tuple[int, ...] | None,
-                  vcs: int | None, pattern: str, rate: float, cycles: int) -> Scenario:
+def _sim_scenario(algorithm: str, topology: str,
+                  pattern: str, rate: float, cycles: int) -> Scenario:
+    """``topology`` is a scenario-layer spec string, e.g. ``"mesh:8x8:v2"``."""
     def setup() -> Callable[[], Any]:
         from .sim import SimPoint
 
         point = SimPoint(
-            algorithm=algorithm, topology=topology, dims=dims, vcs=vcs,
+            algorithm=algorithm, topology=topology,
             pattern=pattern, rate=rate, seed=3, cycles=cycles,
         )
         sim = point.build()  # construction stays outside the profile
@@ -56,25 +57,22 @@ def _sim_scenario(algorithm: str, topology: str, dims: tuple[int, ...] | None,
 
         return body
 
-    dd = ",".join(map(str, dims)) if dims else "-"
     return Scenario(
         name=f"sim-{algorithm}",
         description=(
-            f"simulate {algorithm}@{topology}({dd}) {pattern} "
+            f"simulate {algorithm}@{topology} {pattern} "
             f"rate={rate} for {cycles} cycles"
         ),
         setup=setup,
     )
 
 
-def _verify_scenario(algorithm: str, dims: tuple[int, ...] | None) -> Scenario:
+def _verify_scenario(algorithm: str, dims: tuple[int, ...]) -> Scenario:
     def setup() -> Callable[[], Any]:
-        from .pipeline import build_topology
-        from .routing import CATALOG, make
+        from . import scenario
 
-        entry = CATALOG[algorithm]
-        net = build_topology(entry.topology, dims, entry.min_vcs)
-        ra = make(algorithm, net)
+        entry = scenario.get(algorithm)
+        ra = entry.instantiate(dims=dims)
 
         def body() -> Any:
             from .verify import verify
@@ -83,7 +81,7 @@ def _verify_scenario(algorithm: str, dims: tuple[int, ...] | None) -> Scenario:
 
         return body
 
-    dd = ",".join(map(str, dims)) if dims else "-"
+    dd = ",".join(map(str, dims))
     return Scenario(
         name=f"verify-{algorithm}",
         description=f"full deadlock-freedom verification of {algorithm} ({dd})",
@@ -116,9 +114,9 @@ def _sweep_scenario() -> Scenario:
 SCENARIOS: dict[str, Scenario] = {
     s.name: s
     for s in (
-        _sim_scenario("e-cube-mesh", "mesh", (8, 8), None, "uniform", 0.3, 800),
-        _sim_scenario("duato-mesh", "mesh", (8, 8), 2, "transpose", 0.3, 800),
-        _sim_scenario("enhanced-fully-adaptive", "hypercube", (5,), 2,
+        _sim_scenario("e-cube-mesh", "mesh:8x8", "uniform", 0.3, 800),
+        _sim_scenario("duato-mesh", "mesh:8x8:v2", "transpose", 0.3, 800),
+        _sim_scenario("enhanced-fully-adaptive", "hypercube:5:v2",
                       "bit-reverse", 0.25, 800),
         _verify_scenario("duato-mesh", (8, 8)),
         _verify_scenario("enhanced-fully-adaptive", (4,)),

@@ -9,6 +9,7 @@ Duato's fully adaptive algorithms, the paper's own Highest Positive Last
 examples of Figures 1 and 4.
 """
 
+from .adaptive3d import MinimalAdaptive3D
 from .catalog import CATALOG, CatalogEntry, entries_for_topology, make
 from .duato_adaptive import (
     DuatoFullyAdaptiveHypercube,
@@ -44,12 +45,15 @@ from .relation import (
 )
 from .ring_example import RingExample
 from .selection import (
+    SELECTIONS,
+    CreditSelection,
     RandomSelection,
     RoundRobinSelection,
     SelectionFunction,
     first_free,
     highest_vc_first,
     lowest_vc_first,
+    make_selection,
     straight_first,
 )
 from .torus_vc import DallySeitzTorus
@@ -59,6 +63,7 @@ from .unrestricted import UnrestrictedMinimal
 __all__ = [
     "CATALOG",
     "CatalogEntry",
+    "CreditSelection",
     "DallySeitzTorus",
     "DimensionOrderHypercube",
     "DimensionOrderMesh",
@@ -68,6 +73,7 @@ __all__ = [
     "EnhancedFullyAdaptive",
     "HighestPositiveLast",
     "IncoherentExample",
+    "MinimalAdaptive3D",
     "NegativeFirst",
     "NodeDestRouting",
     "NorthLast",
@@ -81,6 +87,7 @@ __all__ = [
     "RoundRobinSelection",
     "RoutingAlgorithm",
     "RoutingError",
+    "SELECTIONS",
     "SelectionFunction",
     "WaitPolicy",
     "WestFirst",
@@ -100,6 +107,7 @@ __all__ = [
     "is_suffix_closed",
     "lowest_vc_first",
     "make",
+    "make_selection",
     "never_revisits_node",
     "path_nodes",
     "provides_minimal_path",

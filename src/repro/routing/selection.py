@@ -9,19 +9,28 @@ the simulator's virtual-channel allocator.
 All selection functions here receive the candidate channels in a stable
 order (network cid order) together with a ``free`` predicate, and must
 return a free candidate or ``None`` when none is free.
+
+Scenario integration: every policy has a name in :data:`SELECTIONS`
+(factories, so stateful policies get a fresh instance per simulator);
+:class:`~repro.scenario.ScenarioSpec` carries such a name as its
+``selection`` knob and :func:`make_selection` resolves it.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
-from typing import Protocol
+from typing import TYPE_CHECKING, Any, Protocol
 
-try:  # numpy only backs RandomSelection's RNG; the verifier stack runs without it
-    import numpy as np
-except ImportError:  # pragma: no cover - exercised on numpy-free installs
-    np = None  # type: ignore[assignment]
-
+from .._kernel import HAVE_NUMPY, use_numpy
 from ..topology.channel import Channel
+
+if TYPE_CHECKING:
+    from ..sim.engine import WormholeSimulator
+
+if HAVE_NUMPY:
+    import numpy as np
+else:  # pragma: no cover - exercised on numpy-free installs
+    np = None  # type: ignore[assignment]
 
 
 class SelectionFunction(Protocol):
@@ -59,11 +68,19 @@ def straight_first(c_in: Channel, candidates: Sequence[Channel], free: Callable[
 
 
 class RandomSelection:
-    """Uniformly random free candidate, with an owned RNG for reproducibility."""
+    """Uniformly random free candidate, with an owned RNG for reproducibility.
 
-    def __init__(self, seed: int | np.random.Generator = 0) -> None:
-        if np is None:  # pragma: no cover - exercised on numpy-free installs
-            raise RuntimeError("RandomSelection needs numpy; install the [fast] extra")
+    The RNG rides the NumPy kernel gate (:mod:`repro._kernel`): under
+    ``REPRO_NO_NUMPY=1`` / ``REPRO_BACKEND=pure`` -- or when NumPy is simply
+    not installed -- construction refuses, exactly like every other
+    vectorized consumer, instead of silently ignoring the pinned backend.
+    """
+
+    def __init__(self, seed: "int | np.random.Generator" = 0) -> None:
+        if not use_numpy():  # honors REPRO_NO_NUMPY / REPRO_BACKEND=pure
+            raise RuntimeError(
+                "RandomSelection needs the numpy backend "
+                "(install the [fast] extra and do not force REPRO_BACKEND=pure)")
         self.rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
 
     def __call__(
@@ -121,3 +138,93 @@ def highest_vc_first(c_in: Channel, candidates: Sequence[Channel], free: Callabl
         if free(c):
             return c
     return None
+
+
+class CreditSelection:
+    """Credit-based congestion-adaptive selection with escape-VC fallback.
+
+    Implements the congestion-aware policy the paper's framework explicitly
+    leaves free: among the *adaptive* candidates (``vc >= escape_vcs``) pick
+    the free channel whose downstream buffer has the most credits -- free
+    slots, read straight from the simulator's SoA buffer state -- breaking
+    ties round-robin per node so symmetric neighbours share load.  Only when
+    every adaptive candidate is busy or fully backpressured (zero credits)
+    does the message fall back to the escape class (``vc < escape_vcs``),
+    matching Duato's intent that the escape channels stay a last-resort
+    drain rather than a shortcut.
+
+    Deadlock freedom is untouched by construction -- a selection function
+    can only pick *within* the verified route set -- so this policy is safe
+    on any scenario; it is the default knob of the 3D/pillar scenarios.
+
+    The simulator binds engine state in via :meth:`bind_engine` (called by
+    ``WormholeSimulator.__init__`` on any selection exposing that hook).
+    Unit tests may instead inject a ``credits`` callable directly.
+    """
+
+    def __init__(self, *, escape_vcs: int = 1,
+                 credits: Callable[[Channel], int] | None = None) -> None:
+        if escape_vcs < 0:
+            raise ValueError("escape_vcs must be >= 0")
+        self.escape_vcs = escape_vcs
+        self._credits = credits
+        self._rr: dict[int, int] = {}
+
+    def bind_engine(self, sim: "WormholeSimulator") -> None:
+        """Source credits from the simulator's per-channel buffer occupancy."""
+        buffers = sim._buf
+        depth = sim.config.buffer_depth
+        self._credits = lambda c: depth - len(buffers[c.cid])
+
+    def __call__(
+        self,
+        c_in: Channel,
+        candidates: Sequence[Channel],
+        free: Callable[[Channel], bool],
+    ) -> Channel | None:
+        if not candidates:
+            return None
+        credits = self._credits
+        adaptive = [c for c in candidates if c.vc >= self.escape_vcs]
+        best: Channel | None = None
+        best_credits = 0  # a backpressured (0-credit) adaptive hop never wins
+        if adaptive:
+            node = adaptive[0].src
+            start = self._rr.get(node, 0) % len(adaptive)
+            self._rr[node] = start + 1
+            for i in range(len(adaptive)):
+                c = adaptive[(start + i) % len(adaptive)]
+                if not free(c):
+                    continue
+                have = credits(c) if credits is not None else 1
+                if have > best_credits:
+                    best, best_credits = c, have
+        if best is not None:
+            return best
+        for c in candidates:  # escape fallback, allocator priority order
+            if c.vc < self.escape_vcs and free(c):
+                return c
+        return None
+
+
+#: named selection policies; values are factories so stateful policies are
+#: fresh per simulator.  ``ScenarioSpec.selection`` holds one of these keys.
+SELECTIONS: dict[str, Callable[[], SelectionFunction]] = {
+    "first-free": lambda: first_free,
+    "straight-first": lambda: straight_first,
+    "lowest-vc-first": lambda: lowest_vc_first,
+    "highest-vc-first": lambda: highest_vc_first,
+    "round-robin": RoundRobinSelection,
+    "random": RandomSelection,
+    "credit": CreditSelection,
+}
+
+
+def make_selection(name: str, **kwargs: Any) -> SelectionFunction:
+    """Instantiate a named selection policy (fresh instance if stateful)."""
+    try:
+        factory = SELECTIONS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown selection policy {name!r}; have {sorted(SELECTIONS)}") from None
+    return factory(**kwargs)  # type: ignore[call-arg]

@@ -1,0 +1,47 @@
+"""First-class scenario registry: declarative (relation, topology, policy) specs.
+
+Every driver in this repository -- the verification pipeline, the simulator
+sweep, the golden digest matrix, the fuzz generators, the CLI, the
+benchmarks -- used to carry its own private ``(algorithm, topology, dims,
+vcs)`` tuple convention.  This package replaces all of them with one
+declarative layer:
+
+* :class:`TopologySpec` -- a frozen, hashable topology instance with stable
+  string (``sparse-pillar:3x3x3:v2:pillars=0.0+1.0+2.0``) and JSON codecs;
+* :class:`ScenarioSpec` -- a named scenario: relation factory, canonical
+  topology, VC requirement, expected verdict, and the per-scenario
+  output-selection policy knob;
+* the registry (:func:`get` / :func:`names` / :func:`all_specs` /
+  :func:`for_family`) that ``repro.routing.catalog`` populates and every
+  driver resolves scenarios through.
+
+Adding a topology family now means one :func:`register_family` call plus one
+:func:`register` per scenario -- no driver changes.
+"""
+
+from .registry import (
+    REGISTRY,
+    all_specs,
+    build_topology,
+    family_names,
+    for_family,
+    get,
+    names,
+    register,
+    register_family,
+)
+from .specs import ScenarioSpec, TopologySpec
+
+__all__ = [
+    "REGISTRY",
+    "ScenarioSpec",
+    "TopologySpec",
+    "all_specs",
+    "build_topology",
+    "family_names",
+    "for_family",
+    "get",
+    "names",
+    "register",
+    "register_family",
+]

@@ -232,6 +232,12 @@ class WormholeSimulator:
         self._arrived: list[int] = []
         self._specific = self.wait_policy is WaitPolicy.SPECIFIC
         self._fast_sel = self.config.selection is first_free
+        # Stateful selection policies may source live engine state (e.g.
+        # CreditSelection reads per-channel buffer occupancy as credits);
+        # any selection exposing bind_engine gets this simulator injected.
+        bind = getattr(self.config.selection, "bind_engine", None)
+        if bind is not None:
+            bind(self)
         if route_table is not None:
             # A shared, pre-built table (sweeps reuse one across all points
             # with the same network/algorithm axes).  Entries are a pure

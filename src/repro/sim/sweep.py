@@ -24,6 +24,11 @@ the repeated ``route()`` calls that otherwise dominate point startup.
 pool, so on fork-based platforms every worker inherits the shared
 read-mostly structures as copy-on-write pages.
 
+A point's topology axis is a :class:`~repro.scenario.TopologySpec` (the
+string codec is accepted and parsed), and :func:`grid_points` resolves
+algorithms through the scenario registry -- topology, dims, VCs, and the
+output-selection policy all come from each scenario's registered spec.
+
 CLI: ``python -m repro sim-sweep`` (see ``--help``).
 """
 
@@ -35,9 +40,12 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any
 
+from .. import scenario
 from ..pipeline.observability import StageMetrics
-from ..routing.catalog import CATALOG, make
+from ..routing.catalog import make
 from ..routing.relation import RouteTable
+from ..routing.selection import make_selection
+from ..scenario import TopologySpec
 from ..topology.network import Network
 from .config import SimConfig
 from .engine import WormholeSimulator
@@ -45,7 +53,7 @@ from .traffic import BernoulliTraffic
 
 #: per-process memo of the expensive immutable build products, keyed by a
 #: grid point's network/algorithm axes
-_BuildKey = tuple[str, str, tuple[int, ...] | None, int | None]
+_BuildKey = tuple[str, TopologySpec]
 _BUILD_CACHE: dict[_BuildKey, tuple[Network, Any, RouteTable]] = {}
 
 
@@ -55,12 +63,10 @@ def clear_build_cache() -> None:
 
 
 def _shared_parts(point: SimPoint) -> tuple[Network, Any, RouteTable]:
-    key = (point.algorithm, point.topology, point.dims, point.vcs)
+    key = (point.algorithm, point.topology)
     parts = _BUILD_CACHE.get(key)
     if parts is None:
-        from ..pipeline.engine import build_topology
-
-        net = build_topology(point.topology, point.dims, point.vcs)
+        net = point.topology.build()
         ra = make(point.algorithm, net)
         table = RouteTable(ra, dist=net.shortest_distances())
         parts = _BUILD_CACHE[key] = (net, ra, table)
@@ -69,12 +75,16 @@ def _shared_parts(point: SimPoint) -> tuple[Network, Any, RouteTable]:
 
 @dataclass(frozen=True)
 class SimPoint:
-    """One grid point -- plain picklable data, never live objects."""
+    """One grid point -- plain picklable data, never live objects.
+
+    ``topology`` is a full :class:`~repro.scenario.TopologySpec`; the
+    stable string codec (``"mesh:4x4"``, ``"hypercube:3:v2"``) is accepted
+    and parsed, so hand-written points stay one-liners.
+    """
 
     algorithm: str
-    topology: str
-    dims: tuple[int, ...] | None = None
-    vcs: int | None = None
+    topology: TopologySpec
+    selection: str = "first-free"
     pattern: str = "uniform"
     rate: float = 0.2
     seed: int = 1
@@ -83,6 +93,10 @@ class SimPoint:
     warmup: int = 400
     buffer_depth: int = 4
     deadlock_check_interval: int = 128
+
+    def __post_init__(self) -> None:
+        if isinstance(self.topology, str):
+            object.__setattr__(self, "topology", TopologySpec.parse(self.topology))
 
     def build(self) -> WormholeSimulator:
         net, ra, table = _shared_parts(self)
@@ -94,13 +108,13 @@ class SimPoint:
             seed=self.seed,
             buffer_depth=self.buffer_depth,
             deadlock_check_interval=self.deadlock_check_interval,
+            selection=make_selection(self.selection),
         )
         return WormholeSimulator(ra, traffic, config, route_table=table)
 
     def describe(self) -> str:
-        dims = ",".join(map(str, self.dims)) if self.dims else "-"
         return (
-            f"{self.algorithm}@{self.topology}({dims}) "
+            f"{self.algorithm}@{self.topology.describe()} "
             f"{self.pattern} rate={self.rate} seed={self.seed}"
         )
 
@@ -156,29 +170,29 @@ def grid_points(
     torus_dims: tuple[int, ...] = (8, 8),
     hypercube_dim: int = 5,
 ) -> list[SimPoint]:
-    """Cross cataloged algorithms with traffic patterns, loads, and seeds.
+    """Cross registered scenarios with traffic patterns, loads, and seeds.
 
-    Topology, dims, and VC count come from each algorithm's catalog entry,
-    mirroring :func:`~repro.pipeline.engine.catalog_specs`.
+    Topology, dims, VC count, and the output-selection policy come from each
+    algorithm's :class:`~repro.scenario.ScenarioSpec`; ``mesh_dims`` and
+    friends resize the resizable families while fixed-size families
+    (figure1/figure4) and the 3D scenarios keep their canonical dims.
     """
-    dims_for: dict[str, tuple[int, ...] | None] = {
+    family_dims: dict[str, tuple[int, ...] | int] = {
         "mesh": mesh_dims,
         "torus": torus_dims,
-        "hypercube": (hypercube_dim,),
-        "figure1": None,
-        "figure4": None,
+        "hypercube": hypercube_dim,
     }
     points = []
     for name in algorithms:
-        entry = CATALOG[name]
+        spec = scenario.get(name)
+        topo = spec.topology_for(family_dims)
         for pattern in patterns:
             for rate in rates:
                 for seed in seeds:
                     points.append(SimPoint(
                         algorithm=name,
-                        topology=entry.topology,
-                        dims=dims_for[entry.topology],
-                        vcs=entry.min_vcs,
+                        topology=topo,
+                        selection=spec.selection,
                         pattern=pattern,
                         rate=rate,
                         seed=seed,
@@ -331,9 +345,11 @@ def sweep_to_json(report: SweepReport) -> str:
         "points": [
             {
                 "algorithm": r.point.algorithm,
-                "topology": r.point.topology,
-                "dims": list(r.point.dims) if r.point.dims else None,
-                "vcs": r.point.vcs,
+                "topology": r.point.topology.family,
+                "topology_spec": r.point.topology.describe(),
+                "dims": list(r.point.topology.dims) if r.point.topology.dims else None,
+                "vcs": r.point.topology.vcs,
+                "selection": r.point.selection,
                 "pattern": r.point.pattern,
                 "rate": r.point.rate,
                 "seed": r.point.seed,

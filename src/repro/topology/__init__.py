@@ -11,6 +11,7 @@ from .examples import FIGURE1_LABELS, build_figure1_network, build_figure4_ring
 from .grid import all_coords, node_coord, node_id, offset_coord
 from .hypercube import build_hypercube, differing_dimensions, hamming_distance
 from .mesh import build_mesh
+from .mesh3d import build_mesh3d, build_sparse_pillar_3d, default_pillars
 from .network import Network, NetworkError, network_from_edges
 from .torus import build_ring, build_torus
 
@@ -25,8 +26,11 @@ __all__ = [
     "build_figure4_ring",
     "build_hypercube",
     "build_mesh",
+    "build_mesh3d",
     "build_ring",
+    "build_sparse_pillar_3d",
     "build_torus",
+    "default_pillars",
     "differing_dimensions",
     "hamming_distance",
     "network_from_edges",

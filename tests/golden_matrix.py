@@ -39,23 +39,26 @@ import json
 from pathlib import Path
 
 from repro.routing import make
-from repro.routing.selection import lowest_vc_first
+from repro.routing.selection import CreditSelection, lowest_vc_first
+from repro.scenario import TopologySpec
 from repro.sim import BernoulliTraffic, SimConfig, WormholeSimulator
-from repro.topology import build_hypercube, build_mesh, build_torus
 
 FIXTURE = Path(__file__).resolve().parent / "fixtures" / "sim_golden_digests.json"
 
-SELECTIONS = {"lowest_vc_first": lowest_vc_first}
+#: selection-policy factories: stateful policies get a fresh instance per
+#: case so repeated runs of the same case stay bit-identical
+SELECTIONS = {
+    "lowest_vc_first": lambda: lowest_vc_first,
+    "credit": CreditSelection,
+}
 
-#: case id -> spec; every field is plain data so the matrix itself can be
-#: diffed when cases are added.
+#: case id -> spec; every field is plain data (topologies are scenario-layer
+#: spec strings) so the matrix itself can be diffed when cases are added.
 CASES: dict[str, dict] = {}
 
 
 def _case(cid: str, **spec) -> None:
     assert cid not in CASES
-    spec.setdefault("dims", None)
-    spec.setdefault("vcs", 1)
     spec.setdefault("pattern", "uniform")
     spec.setdefault("rate", 0.3)
     spec.setdefault("length", 6)
@@ -68,70 +71,79 @@ def _case(cid: str, **spec) -> None:
 
 # -- wait-on-ANY algorithms across topologies and seeds -----------------
 for seed in (17, 42):
-    _case(f"duato-mesh-u{seed}", algorithm="duato-mesh", topology="mesh",
-          dims=(3, 3), vcs=2, seed=seed)
-    _case(f"ecube-mesh-u{seed}", algorithm="e-cube-mesh", topology="mesh",
-          dims=(3, 3), vcs=2, seed=seed)
+    _case(f"duato-mesh-u{seed}", algorithm="duato-mesh",
+          topology="mesh:3x3:v2", seed=seed)
+    _case(f"ecube-mesh-u{seed}", algorithm="e-cube-mesh",
+          topology="mesh:3x3:v2", seed=seed)
     _case(f"efa-cube-u{seed}", algorithm="enhanced-fully-adaptive",
-          topology="hypercube", dims=(3,), vcs=2, seed=seed)
-_case("west-first-t9", algorithm="west-first", topology="mesh", dims=(3, 3),
+          topology="hypercube:3:v2", seed=seed)
+_case("west-first-t9", algorithm="west-first", topology="mesh:3x3",
       pattern="transpose", seed=9)
-_case("duato-cube-br5", algorithm="duato-hypercube", topology="hypercube",
-      dims=(3,), vcs=2, pattern="bit-reverse", seed=5)
-_case("duato-torus-u7", algorithm="duato-torus", topology="torus",
-      dims=(4, 4), vcs=3, seed=7, cycles=400, stop_at=250, rate=0.2)
-_case("ecube-cube-hot3", algorithm="e-cube", topology="hypercube", dims=(3,),
+_case("duato-cube-br5", algorithm="duato-hypercube", topology="hypercube:3:v2",
+      pattern="bit-reverse", seed=5)
+_case("duato-torus-u7", algorithm="duato-torus", topology="torus:4x4:v3",
+      seed=7, cycles=400, stop_at=250, rate=0.2)
+_case("ecube-cube-hot3", algorithm="e-cube", topology="hypercube:3",
       pattern="hotspot", seed=3, rate=0.25)
 
 # -- wait-on-SPECIFIC: HPL commits to designated waiting channels -------
-_case("hpl-specific-u11", algorithm="highest-positive-last", topology="mesh",
-      dims=(3, 3), seed=11, rate=0.25)
-_case("hpl-specific-t4", algorithm="highest-positive-last", topology="mesh",
-      dims=(4, 4), pattern="transpose", seed=4, rate=0.2)
+_case("hpl-specific-u11", algorithm="highest-positive-last", topology="mesh:3x3",
+      seed=11, rate=0.25)
+_case("hpl-specific-t4", algorithm="highest-positive-last", topology="mesh:4x4",
+      pattern="transpose", seed=4, rate=0.2)
 
 # -- config axes: depths, ejection rate, raw cid order, slow selection --
-_case("duato-mesh-depth2", algorithm="duato-mesh", topology="mesh",
-      dims=(3, 3), vcs=2, seed=6, config={"buffer_depth": 2})
-_case("duato-mesh-eject2", algorithm="duato-mesh", topology="mesh",
-      dims=(3, 3), vcs=2, seed=6, config={"ejection_rate": 2})
+_case("duato-mesh-depth2", algorithm="duato-mesh", topology="mesh:3x3:v2",
+      seed=6, config={"buffer_depth": 2})
+_case("duato-mesh-eject2", algorithm="duato-mesh", topology="mesh:3x3:v2",
+      seed=6, config={"ejection_rate": 2})
 _case("efa-raw-order", algorithm="enhanced-fully-adaptive",
-      topology="hypercube", dims=(3,), vcs=2, seed=8,
-      config={"prefer_minimal": False})
-_case("duato-mesh-lowvc", algorithm="duato-mesh", topology="mesh",
-      dims=(3, 3), vcs=2, seed=8, config={"selection": "lowest_vc_first"})
+      topology="hypercube:3:v2", seed=8, config={"prefer_minimal": False})
+_case("duato-mesh-lowvc", algorithm="duato-mesh", topology="mesh:3x3:v2",
+      seed=8, config={"selection": "lowest_vc_first"})
 
 # -- faults: adaptive rerouting around a channel killed mid-sweep -------
-# (cycle, "fail"|"repair", src node, dim, sign) applied before that cycle
-_case("hpl-fault-reroute", algorithm="highest-positive-last", topology="mesh",
-      dims=(3, 3), seed=13, rate=0.2, algo_kwargs={"wait_any": True},
+# (cycle, "fail"|"repair", src node, dim, sign[, vc]) applied before that
+# cycle; without a vc the first matching out-channel is taken
+_case("hpl-fault-reroute", algorithm="highest-positive-last", topology="mesh:3x3",
+      seed=13, rate=0.2, algo_kwargs={"wait_any": True},
       faults=[(120, "fail", 6, 1, -1), (360, "repair", 6, 1, -1)])
-_case("duato-fault-reroute", algorithm="duato-mesh", topology="mesh",
-      dims=(3, 3), vcs=2, seed=19, rate=0.2,
+_case("duato-fault-reroute", algorithm="duato-mesh", topology="mesh:3x3:v2",
+      seed=19, rate=0.2,
       faults=[(100, "fail", 4, 0, 1), (300, "repair", 4, 0, 1)])
+
+# -- the 3D scenarios: credit-based adaptive selection, escape fallback --
+_case("mesh3d-credit-u21", algorithm="adaptive-mesh3d",
+      topology="mesh3d:3x3x3:v2", seed=21, rate=0.2,
+      config={"selection": "credit"})
+_case("pillar-wall-credit-u23", algorithm="pillar-wall-3d",
+      topology="sparse-pillar:3x3x3:v2:pillars=0.0+1.0+2.0",
+      seed=23, rate=0.2, config={"selection": "credit"})
+# drop (then restore) the escape VC of the pillar z-link at node (1,0,0):
+# adaptive vc1 keeps the column draining while vc0 is down
+_case("pillar-fault-escape", algorithm="pillar-wall-3d",
+      topology="sparse-pillar:3x3x3:v2:pillars=0.0+1.0+2.0",
+      seed=29, rate=0.15, config={"selection": "credit"},
+      faults=[(150, "fail", 1, 2, 1, 0), (400, "repair", 1, 2, 1, 0)])
 
 
 # ----------------------------------------------------------------------
-def _find_channel(net, node: int, dim: int, sign: int):
+def _find_channel(net, node: int, dim: int, sign: int, vc: int | None = None):
     for c in net.out_channels(node):
-        if c.meta.get("dim") == dim and c.meta.get("sign") == sign:
+        if (c.meta.get("dim") == dim and c.meta.get("sign") == sign
+                and (vc is None or c.vc == vc)):
             return c
-    raise LookupError(f"no channel at node {node} dim {dim} sign {sign}")
+    raise LookupError(f"no channel at node {node} dim {dim} sign {sign} vc {vc}")
 
 
 def build_case(cid: str) -> WormholeSimulator:
     """Instantiate the simulator for one matrix point (not yet stepped)."""
     spec = CASES[cid]
-    topo = spec["topology"]
-    if topo == "mesh":
-        net = build_mesh(spec["dims"], num_vcs=spec["vcs"])
-    elif topo == "torus":
-        net = build_torus(spec["dims"], num_vcs=spec["vcs"])
-    else:
-        net = build_hypercube(spec["dims"][0], num_vcs=spec["vcs"])
+    net = TopologySpec.parse(spec["topology"]).build()
     ra = make(spec["algorithm"], net, **spec.get("algo_kwargs", {}))
     cfg_kwargs = dict(spec["config"])
     if "selection" in cfg_kwargs:
-        cfg_kwargs["selection"] = SELECTIONS[cfg_kwargs["selection"]]
+        cfg_kwargs["selection"] = SELECTIONS[cfg_kwargs["selection"]]()
     config = SimConfig(seed=spec["seed"], deadlock_check_interval=32, **cfg_kwargs)
     traffic = BernoulliTraffic(
         net, rate=spec["rate"], pattern=spec["pattern"],
@@ -147,8 +159,9 @@ def run_case(cid: str) -> str:
     events = sorted(spec["faults"])
     for cycle in range(spec["cycles"]):
         while events and events[0][0] <= cycle:
-            _, action, node, dim, sign = events[0]
-            ch = _find_channel(sim.network, node, dim, sign)
+            _, action, node, dim, sign, *rest = events[0]
+            ch = _find_channel(sim.network, node, dim, sign,
+                               rest[0] if rest else None)
             if action == "fail":
                 try:
                     sim.fail_channel(ch)

@@ -52,13 +52,11 @@ from repro.pipeline import build_topology
 from repro.routing import CATALOG, make
 
 FIXTURE = Path(__file__).parent / "fixtures" / "lint_catalog_expected.json"
-DIMS = {"mesh": (4, 4), "torus": (4, 4), "hypercube": (3,),
-        "figure1": None, "figure4": None}
 
 
 def catalog_algorithm(name: str):
     entry = CATALOG[name]
-    net = build_topology(entry.topology, DIMS.get(entry.topology), entry.min_vcs)
+    net = build_topology(entry.topology_for())
     return make(name, net)
 
 

@@ -79,7 +79,7 @@ _SIM_AXES = st.tuples(
 def _digest(algorithm: str, seed: int, rate: float, pattern: str,
             depth: int, backend: str) -> str:
     entry = CATALOG[algorithm]
-    if entry.topology == "mesh":
+    if entry.family == "mesh":
         net = build_mesh((4, 4), num_vcs=entry.min_vcs)
     else:
         net = build_hypercube(3, num_vcs=entry.min_vcs)
@@ -99,7 +99,7 @@ def _digest(algorithm: str, seed: int, rate: float, pattern: str,
 @given(_SIM_AXES)
 def test_random_sim_digests_agree_across_backends(axes):
     algorithm, seed, rate_pct, pattern, depth = axes
-    if pattern == "transpose" and CATALOG[algorithm].topology != "mesh":
+    if pattern == "transpose" and CATALOG[algorithm].family != "mesh":
         pattern = "uniform"
     rate = rate_pct / 100.0
     pure = _digest(algorithm, seed, rate, pattern, depth, "pure")
@@ -115,7 +115,7 @@ _CHECKER_ALGOS = ("duato-mesh", "highest-positive-last", "enhanced-fully-adaptiv
 
 def _build_graphs(algorithm: str):
     entry = CATALOG[algorithm]
-    if entry.topology == "mesh":
+    if entry.family == "mesh":
         net = build_mesh((4, 4), num_vcs=entry.min_vcs)
     else:
         net = build_hypercube(3, num_vcs=entry.min_vcs)

@@ -34,13 +34,13 @@ BOUNDS = dict(cycle_limit=2_000, max_nodes=100_000)
 
 def _small_network(entry):
     """The small per-topology instances the integration tests standardize on."""
-    if entry.topology == "mesh":
+    if entry.family == "mesh":
         return build_mesh((3, 3), num_vcs=entry.min_vcs)
-    if entry.topology == "torus":
+    if entry.family == "torus":
         return build_torus((4, 4), num_vcs=entry.min_vcs)
-    if entry.topology == "hypercube":
+    if entry.family == "hypercube":
         return build_hypercube(3, num_vcs=entry.min_vcs)
-    return None  # figure1/figure4 fixtures are covered elsewhere
+    return None  # figure1/figure4/mesh3d/sparse-pillar are covered elsewhere
 
 
 # ----------------------------------------------------------------------
@@ -121,7 +121,7 @@ def test_certified_random_relations_never_deadlock_in_sim(pair):
 @pytest.mark.parametrize(
     "name",
     sorted(n for n, e in CATALOG.items()
-           if e.deadlock_free and e.topology in ("mesh", "torus", "hypercube")),
+           if e.deadlock_free and e.family in ("mesh", "torus", "hypercube")),
 )
 def test_certified_catalog_survives_adversarial_traffic(name):
     """Certified catalog algorithms under hotspot traffic with single-flit

@@ -26,7 +26,7 @@ def _report(jobs) -> BatchReport:
 
 
 def _job(reason: str) -> JobResult:
-    spec = JobSpec(algorithm="e-cube-mesh", topology="mesh", dims=(3, 3), vcs=2)
+    spec = JobSpec(algorithm="e-cube-mesh", topology="mesh:3x3:v2")
     return JobResult(
         spec=spec, network="mesh(3,3)", fingerprint="f" * 12, seconds=0.1,
         results=[ConditionResult(

@@ -93,7 +93,8 @@ def test_no_indirect_ecdg_is_observably_weaker():
     The variant is not generatively catchable through ``search_escape``
     alone -- Duato's coherence gate rejects the nonminimal families that
     exercise indirect dependencies -- so this pins the bug at the graph
-    level: the broken ECDG is a strict subgraph of the real one.
+    level (the broken ECDG is a strict subgraph of the real one); the
+    shipped escape-cycle-planted corpus control pins it at stack level.
     """
     alg = make("duato-mesh", build_mesh((3, 3), num_vcs=2))
     escape = escape_by_vc(alg)
@@ -110,3 +111,54 @@ def test_no_indirect_ecdg_wrongly_acyclic_on_cyclic_real_graph():
     escape = escape_by_vc(alg)
     assert not ExtendedChannelDependencyGraph(alg, escape).dep.summary()["acyclic"]
     assert NoIndirectECDG(alg, escape).dep.summary()["acyclic"]
+
+
+# ----------------------------------------------------------------------
+# the escape-cycle-planted corpus control for duato-no-indirect
+# ----------------------------------------------------------------------
+def _shipped_no_indirect_entry():
+    import json
+    from pathlib import Path
+
+    from repro.fuzz.corpus import CorpusEntry
+
+    corpus = Path(__file__).resolve().parents[1] / "corpus"
+    path = corpus / "planted-duato-no-indirect-770f88ea621a.json"
+    return CorpusEntry.from_json(json.loads(path.read_text()))
+
+
+def test_no_indirect_caught_by_shipped_corpus_control():
+    """The committed escape-cycle-planted table makes the sabotaged Duato
+    check claim freedom while the theorem checker constructs a True Cycle
+    (and the adversarial simulator deadlocks): the full-stack catch the
+    coherence gate denies to the generative families.  The production
+    stack must stay quiet on the very same table -- the real ECDG sees the
+    indirect escape cycle and certifies nothing."""
+    entry = _shipped_no_indirect_entry()
+    alg = entry.table.build()
+    broken = run_stack(alg, planted_stack("duato-no-indirect"))
+    assert frozenset(entry.discrepancy_keys) <= broken.discrepancy_keys()
+    assert "free-vs-deadlock:duato<>theorem" in broken.discrepancy_keys()
+    assert run_stack(alg, REAL_STACK).clean
+
+
+def test_no_indirect_corpus_control_cycle_is_indirect_only():
+    """The planted escape cycle exists only through INDIRECT dependencies:
+    the direct-only graph is acyclic (so the broken builder certifies the
+    vc0 escape) while the full ECDG is cyclic, and Duato's applicability
+    gates all hold -- this is a legal R(n, d) relation, not a degenerate."""
+    from repro.deps import DependencyType
+    from repro.verify.duato import applicability, search_escape
+
+    alg = _shipped_no_indirect_entry().table.build()
+    ok, why = applicability(alg)
+    assert ok, why
+    escape = escape_by_vc(alg)
+    real = ExtendedChannelDependencyGraph(alg, escape)
+    assert not real.dep.is_acyclic()
+    assert NoIndirectECDG(alg, escape).dep.is_acyclic()
+    indirect_edges = {e for e, kinds in real.edge_types.items()
+                      if kinds == {DependencyType.INDIRECT}}
+    assert len(indirect_edges) >= 2  # the two chord-made cycle edges
+    assert search_escape(alg).deadlock_free is False
+    assert search_escape(alg, ecdg_cls=NoIndirectECDG).deadlock_free is True

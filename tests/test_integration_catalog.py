@@ -11,28 +11,15 @@ import pytest
 
 from repro.routing import CATALOG, make
 from repro.sim import BernoulliTraffic, SimConfig, WormholeSimulator
-from repro.topology import (
-    build_figure1_network,
-    build_figure4_ring,
-    build_hypercube,
-    build_mesh,
-    build_torus,
-)
 from repro.verify import verify
+
+#: test-sized instances for the resizable families; fixed-shape families
+#: (figure1/figure4/mesh3d/sparse-pillar) keep their canonical dims
+FAMILY_DIMS = {"mesh": (3, 3), "hypercube": 3, "torus": (4, 4)}
 
 
 def network_for(entry):
-    if entry.topology == "mesh":
-        return build_mesh((3, 3), num_vcs=max(entry.min_vcs, 1))
-    if entry.topology == "hypercube":
-        return build_hypercube(3, num_vcs=max(entry.min_vcs, 1))
-    if entry.topology == "torus":
-        return build_torus((4, 4), num_vcs=max(entry.min_vcs, 1))
-    if entry.topology == "figure1":
-        return build_figure1_network()
-    if entry.topology == "figure4":
-        return build_figure4_ring()
-    raise AssertionError(entry.topology)
+    return entry.topology_for(FAMILY_DIMS).build()
 
 
 @pytest.mark.parametrize("name", sorted(CATALOG))

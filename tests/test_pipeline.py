@@ -91,7 +91,7 @@ def test_catalog_verdicts_match_certified_flags(serial_report):
 # ----------------------------------------------------------------------
 def test_warm_rerun_hits_verdict_cache():
     cache = VerificationCache()
-    spec = JobSpec("duato-mesh", "mesh", (3, 3), 2, conditions=("theorem",))
+    spec = JobSpec("duato-mesh", "mesh:3x3:v2", conditions=("theorem",))
     cold = run_job(spec, cache)
     warm = run_job(spec, cache)
     assert cold.ok and warm.ok
@@ -175,9 +175,9 @@ def test_cached_reduction_roundtrip():
 @pytest.mark.parametrize("workers", [0, 2])
 def test_bad_job_degrades_to_error_record(workers):
     specs = [
-        JobSpec("e-cube-mesh", "mesh", (3, 3), 1, ("dally-seitz",)),
-        JobSpec("no-such-algorithm", "mesh", (3, 3), 1, ("dally-seitz",)),
-        JobSpec("e-cube-mesh", "nowhere", None, 1, ("dally-seitz",)),
+        JobSpec("e-cube-mesh", "mesh:3x3", ("dally-seitz",)),
+        JobSpec("no-such-algorithm", "mesh:3x3", ("dally-seitz",)),
+        JobSpec("e-cube-mesh", "nowhere", ("dally-seitz",)),
     ]
     report = BatchVerifier(workers=workers).run(specs)
     assert len(report.jobs) == 3
@@ -188,7 +188,7 @@ def test_bad_job_degrades_to_error_record(workers):
 
 
 def test_unknown_condition_is_an_error_not_a_crash():
-    out = run_job(JobSpec("e-cube-mesh", "mesh", (3, 3), 1, ("bogus",)))
+    out = run_job(JobSpec("e-cube-mesh", "mesh:3x3", ("bogus",)))
     assert not out.ok
     assert "unknown condition" in out.error
 
@@ -199,8 +199,8 @@ def test_unknown_condition_is_an_error_not_a_crash():
 @pytest.fixture(scope="module")
 def small_report():
     specs = [
-        JobSpec("e-cube-mesh", "mesh", (3, 3), 1, FAST),
-        JobSpec("no-such-algorithm", "mesh", (3, 3), 1, FAST),
+        JobSpec("e-cube-mesh", "mesh:3x3", FAST),
+        JobSpec("no-such-algorithm", "mesh:3x3", FAST),
     ]
     return BatchVerifier(cache=VerificationCache()).run(specs)
 

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.routing import (
+    CreditSelection,
     RandomSelection,
     RoundRobinSelection,
     first_free,
@@ -11,6 +12,7 @@ from repro.routing import (
     lowest_vc_first,
     straight_first,
 )
+from repro.routing.selection import SELECTIONS, make_selection
 from repro.topology import build_mesh
 
 
@@ -75,3 +77,82 @@ def test_vc_order_preferences():
     assert lowest_vc_first(inj, cands, lambda c: c.vc == 1).vc == 1
     assert lowest_vc_first(inj, cands, lambda c: False) is None
     assert highest_vc_first(inj, cands, lambda c: False) is None
+
+
+def test_random_selection_refuses_pure_backend(monkeypatch, mesh_chans):
+    monkeypatch.setenv("REPRO_BACKEND", "pure")
+    with pytest.raises(RuntimeError, match="numpy backend"):
+        RandomSelection(3)
+
+
+# ----------------------------------------------------------------------
+# credit-based adaptive selection with escape fallback
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def vc2_chans():
+    m = build_mesh((2, 2), num_vcs=2)
+    inj = m.injection_channel(0)
+    # candidates at node 0: east and north hops, vc0 (escape) and vc1
+    cands = sorted(m.out_channels(0), key=lambda c: c.cid)
+    return inj, cands
+
+
+def test_credit_selection_picks_most_credits(vc2_chans):
+    inj, cands = vc2_chans
+    adaptive = [c for c in cands if c.vc >= 1]
+    fat, thin = adaptive[0], adaptive[1]
+    sel = CreditSelection(credits=lambda c: 4 if c is fat else 1)
+    assert sel(inj, cands, lambda c: True) is fat
+    # the same policy respects the free mask
+    assert sel(inj, cands, lambda c: c is thin) is thin
+
+
+def test_credit_selection_escape_fallback(vc2_chans):
+    inj, cands = vc2_chans
+    sel = CreditSelection(credits=lambda c: 4)
+    # all adaptive candidates busy: fall back to the first free escape VC
+    pick = sel(inj, cands, lambda c: c.vc == 0)
+    assert pick is not None and pick.vc == 0
+    # adaptive candidates free but fully backpressured: also escape
+    starved = CreditSelection(credits=lambda c: 0)
+    pick = starved(inj, cands, lambda c: True)
+    assert pick is not None and pick.vc == 0
+    # nothing free at all
+    assert sel(inj, cands, lambda c: False) is None
+    assert sel(inj, [], lambda c: True) is None
+
+
+def test_credit_selection_round_robin_tie_break(vc2_chans):
+    inj, cands = vc2_chans
+    sel = CreditSelection(credits=lambda c: 2)  # all ties
+    adaptive = [c for c in cands if c.vc >= 1]
+    picks = {sel(inj, cands, lambda c: True).cid for _ in range(len(adaptive))}
+    assert picks == {c.cid for c in adaptive}  # load spread over both hops
+
+
+def test_credit_selection_binds_engine_buffers():
+    from repro.routing import make
+    from repro.sim import BernoulliTraffic, SimConfig, WormholeSimulator
+
+    net = build_mesh((3, 3), num_vcs=2)
+    sel = CreditSelection()
+    sim = WormholeSimulator(
+        make("duato-mesh", net),
+        BernoulliTraffic(net, rate=0.3, length=4, stop_at=200),
+        SimConfig(seed=5, selection=sel, deadlock_check_interval=32),
+    )
+    assert sel._credits is not None  # bind_engine ran in the constructor
+    sim.run(400)
+    assert sim.deadlock is None
+    assert sim.drain()
+
+
+def test_make_selection_registry():
+    assert make_selection("first-free") is first_free  # keeps the fast path
+    a, b = make_selection("credit"), make_selection("credit")
+    assert isinstance(a, CreditSelection) and a is not b  # fresh per call
+    assert isinstance(make_selection("round-robin"), RoundRobinSelection)
+    with pytest.raises(KeyError, match="unknown selection policy"):
+        make_selection("no-such-policy")
+    assert set(SELECTIONS) >= {"first-free", "straight-first", "lowest-vc-first",
+                               "highest-vc-first", "round-robin", "random", "credit"}

@@ -16,12 +16,12 @@ from repro.sim import (
 )
 
 POINTS = [
-    SimPoint(algorithm="e-cube-mesh", topology="mesh", dims=(4, 4),
+    SimPoint(algorithm="e-cube-mesh", topology="mesh:4x4",
              pattern="uniform", rate=0.15, seed=3, cycles=600),
-    SimPoint(algorithm="highest-positive-last", topology="mesh", dims=(4, 4),
+    SimPoint(algorithm="highest-positive-last", topology="mesh:4x4",
              pattern="transpose", rate=0.2, seed=7, cycles=600),
-    SimPoint(algorithm="enhanced-fully-adaptive", topology="hypercube",
-             dims=(3,), vcs=2, pattern="bit-reverse", rate=0.3, seed=5, cycles=600),
+    SimPoint(algorithm="enhanced-fully-adaptive", topology="hypercube:3:v2",
+             pattern="bit-reverse", rate=0.3, seed=5, cycles=600),
 ]
 
 
@@ -35,12 +35,12 @@ def test_grid_points_crosses_all_axes():
         hypercube_dim=3,
     )
     assert len(pts) == 2 * 2 * 2 * 3
-    # topology/dims/vcs come from the catalog entry
+    # topology/dims/vcs come from the scenario registry entry
     by_algo = {p.algorithm: p for p in pts}
-    assert by_algo["e-cube-mesh"].topology == "mesh"
-    assert by_algo["e-cube-mesh"].dims == (4, 4)
-    assert by_algo["enhanced-fully-adaptive"].topology == "hypercube"
-    assert by_algo["enhanced-fully-adaptive"].vcs == 2
+    assert by_algo["e-cube-mesh"].topology.family == "mesh"
+    assert by_algo["e-cube-mesh"].topology.dims == (4, 4)
+    assert by_algo["enhanced-fully-adaptive"].topology.family == "hypercube"
+    assert by_algo["enhanced-fully-adaptive"].topology.vcs == 2
     # plain data: picklable by construction, hashable for dedup
     assert len(set(pts)) == len(pts)
 
@@ -65,7 +65,7 @@ def test_shared_route_table_is_behaviorally_invisible():
 
 
 def test_run_point_error_is_result_not_crash():
-    bad = SimPoint(algorithm="e-cube-mesh", topology="mesh", dims=(4, 4),
+    bad = SimPoint(algorithm="e-cube-mesh", topology="mesh:4x4",
                    pattern="no-such-pattern", rate=0.1, seed=1, cycles=100)
     r = run_point(bad)
     assert not r.ok and "no-such-pattern" in r.error

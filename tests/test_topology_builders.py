@@ -8,8 +8,11 @@ from repro.topology import (
     build_figure4_ring,
     build_hypercube,
     build_mesh,
+    build_mesh3d,
     build_ring,
+    build_sparse_pillar_3d,
     build_torus,
+    default_pillars,
     hamming_distance,
     differing_dimensions,
 )
@@ -119,6 +122,77 @@ class TestHypercube:
     def test_invalid(self):
         with pytest.raises(ValueError):
             build_hypercube(0)
+
+
+class TestMesh3D:
+    def test_dense_structure(self):
+        net = build_mesh3d((3, 3, 3), num_vcs=2)
+        assert net.num_nodes == 27
+        # per dim: 2*(3-1)*9 = 36 directed links, x2 VCs
+        assert len(net.link_channels) == 3 * 36 * 2
+        assert net.meta["topology"] == "mesh3d"
+        assert net.max_vcs() == 2
+
+    def test_node_numbering_is_mixed_radix(self):
+        net = build_mesh3d((3, 3, 3))
+        assert net.coord(0) == (0, 0, 0)
+        assert net.coord(1 + 3 * 2 + 9 * 1) == (1, 2, 1)  # dim 0 fastest
+
+    def test_channel_metadata(self):
+        net = build_mesh3d((3, 3, 3), num_vcs=1)
+        up = net.channels_between(0, 9)[0]  # +z from (0,0,0)
+        assert up.meta["dim"] == 2 and up.meta["sign"] == 1
+        down = net.channels_between(9, 0)[0]
+        assert down.meta["sign"] == -1
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            build_mesh3d((3, 3))
+        with pytest.raises(ValueError):
+            build_mesh3d((3, 0, 3))
+        with pytest.raises(ValueError):
+            build_mesh3d((3, 3, 3), num_vcs=0)
+
+
+class TestSparsePillar3D:
+    def test_z_links_only_at_pillars(self):
+        net = build_sparse_pillar_3d((3, 3, 3), pillars=[(0, 0), (1, 0), (2, 0)],
+                                     num_vcs=2)
+        z_cols = {(net.coord(c.src)[0], net.coord(c.src)[1])
+                  for c in net.link_channels if c.meta["dim"] == 2}
+        assert z_cols == {(0, 0), (1, 0), (2, 0)}
+        # xy planes stay fully connected: same in-plane channels as dense
+        dense = build_mesh3d((3, 3, 3), num_vcs=2)
+        plane = [c for c in net.link_channels if c.meta["dim"] != 2]
+        assert len(plane) == len([c for c in dense.link_channels
+                                  if c.meta["dim"] != 2])
+        assert net.meta["pillars"] == ((0, 0), (1, 0), (2, 0))
+        assert net.meta["topology"] == "sparse-pillar"
+
+    def test_pillars_are_sorted_and_deduplicated(self):
+        net = build_sparse_pillar_3d((3, 3, 3), pillars=[(2, 2), (0, 0), (2, 2)])
+        assert net.meta["pillars"] == ((0, 0), (2, 2))
+
+    def test_default_pillars_checkerboard(self):
+        kept = default_pillars((3, 3, 3))
+        assert (0, 0) in kept
+        assert all((x + y) % 2 == 0 for x, y in kept)
+        net = build_sparse_pillar_3d((3, 3, 3))
+        assert net.meta["pillars"] == kept
+
+    def test_sparse_distances_exceed_manhattan(self):
+        # with only the (0,0) pillar, (2,2,0)->(2,2,1) must detour through it
+        net = build_sparse_pillar_3d((3, 3, 3), pillars=[(0, 0)], num_vcs=1)
+        src = net.node_at((2, 2, 0))
+        dst = net.node_at((2, 2, 1))
+        dist = net.shortest_distances()
+        assert dist[src][dst] == 9  # 4 in-plane + 1 up + 4 back, not 1
+
+    def test_invalid_pillars(self):
+        with pytest.raises(ValueError, match="at least one"):
+            build_sparse_pillar_3d((3, 3, 3), pillars=[])
+        with pytest.raises(ValueError, match="outside"):
+            build_sparse_pillar_3d((3, 3, 3), pillars=[(3, 0)])
 
 
 class TestExamples:
