@@ -1,0 +1,155 @@
+"""SCALE: the existence decision vs relation-level verification.
+
+The existence decider answers a strictly coarser question than the theorem
+checker -- "could *any* relation be deadlock-free on this network" versus
+"is *this* one" -- and the constructive screens (spanning-tree and greedy
+gossip schedules, always re-verified) keep it near-linear in the channel
+count on every regular topology.  Two assertions ride on the sweep:
+
+* decision cost grows gently and stays well under the theorem check on
+  the same network -- the decider is cheap enough to run as a fuzz-oracle
+  prefix on every generated case;
+* the full pipeline *including* constructive witness synthesis (which
+  certifies each witness with the theorem checker at synthesis time) stays
+  within a small factor of a single theorem check -- existence YES is a
+  realizable claim, not just a bit.
+
+The smoke tier decides every scenario-registry topology plus the brute
+force differential on small digraphs; it is wired into the CI
+``existence-smoke`` job.
+"""
+
+import time
+
+import pytest
+
+from repro.routing import HighestPositiveLast
+from repro.topology import build_hypercube, build_mesh, build_torus
+from repro.verify import (
+    brute_force_existence,
+    decide_existence,
+    synthesize_witness,
+    verify,
+)
+
+
+def test_existence_scaling_meshes(benchmark, once, table):
+    """Decision + witness synthesis vs one theorem check on growing meshes."""
+    sizes = [(3, 3), (4, 4), (6, 6), (8, 8), (4, 4, 4)]
+
+    def sweep():
+        rows = []
+        for dims in sizes:
+            net = build_mesh(dims)
+            t0 = time.perf_counter()
+            verdict = decide_existence(net)
+            t_decide = time.perf_counter() - t0
+            witness = synthesize_witness(net, verdict.schedule)
+            t_witness = time.perf_counter() - t0 - t_decide
+            t1 = time.perf_counter()
+            theorem = verify(HighestPositiveLast(net))
+            t_theorem = time.perf_counter() - t1
+            rows.append((
+                dims, len(net.link_channels), verdict.exists, verdict.method,
+                witness.kind, t_decide, t_witness, t_theorem,
+            ))
+        return rows
+
+    rows = once(benchmark, sweep)
+    table("Existence scaling: decision + witness vs theorem (HPL) on meshes",
+          ["mesh", "channels", "exists", "method", "witness",
+           "decide", "witness synth", "theorem"],
+          [(d, c, e, m, w, f"{a:.3f}s", f"{b:.3f}s", f"{t:.3f}s")
+           for d, c, e, m, w, a, b, t in rows])
+    for _, _, exists, _, _, t_decide, t_witness, t_theorem in rows:
+        assert exists is True
+        # the bare decision must be far cheaper than verifying one relation
+        assert t_decide <= max(0.05, t_theorem), (t_decide, t_theorem)
+        # synthesis certifies the witness with the theorem checker (twice,
+        # counting Duato) -- allow that plus generous runner variance
+        assert t_decide + t_witness <= max(1.0, 8 * t_theorem)
+
+
+def test_existence_other_topologies(benchmark, once, table):
+    """Hypercubes and tori: multi-VC link channels, wrap links."""
+    builds = [
+        ("hypercube(3)", lambda: build_hypercube(3)),
+        ("hypercube(5)", lambda: build_hypercube(5)),
+        ("torus(4,4)v2", lambda: build_torus((4, 4), num_vcs=2)),
+        ("torus(8,8)v2", lambda: build_torus((8, 8), num_vcs=2)),
+    ]
+
+    def sweep():
+        rows = []
+        for name, build in builds:
+            net = build()
+            t0 = time.perf_counter()
+            verdict = decide_existence(net)
+            dt = time.perf_counter() - t0
+            rows.append((name, len(net.link_channels), verdict.exists,
+                         verdict.method, dt))
+        return rows
+
+    rows = once(benchmark, sweep)
+    table("Existence scaling: hypercubes and tori",
+          ["network", "channels", "exists", "method", "decide"],
+          [(n, c, e, m, f"{t:.3f}s") for n, c, e, m, t in rows])
+    assert all(r[2] is True for r in rows)
+    assert all(r[4] < 1.0 for r in rows)
+
+
+@pytest.mark.checker_smoke
+def test_existence_smoke_registry_and_brute_force(benchmark, once, table):
+    """The CI existence tier: every scenario topology decided (with witness
+    synthesis) plus a seeded brute-force differential on small digraphs --
+    a budget of a few seconds, like the checker smoke."""
+    from repro.scenario import all_specs
+
+    def sweep():
+        t0 = time.perf_counter()
+        rows = []
+        for spec in all_specs():
+            net = spec.instantiate().network
+            verdict = decide_existence(net)
+            witness = (synthesize_witness(net, verdict.schedule).kind
+                       if verdict.exists else None)
+            rows.append((spec.name, verdict.exists, verdict.method, witness))
+        differential = _brute_force_differential(seeds=40)
+        return rows, differential, time.perf_counter() - t0
+
+    rows, differential, seconds = once(benchmark, sweep)
+    table("Existence smoke: scenario registry",
+          ["scenario", "exists", "method", "witness"], rows)
+    assert all(r[1] is True for r in rows)
+    assert differential == 0, f"{differential} brute-force disagreements"
+    assert seconds < 60, f"existence smoke took {seconds:.1f}s"
+
+
+def _brute_force_differential(*, seeds: int) -> int:
+    """Seeded random small digraphs: tiered decision vs enumeration."""
+    import random
+
+    from repro.topology.network import Network
+
+    mismatches = 0
+    for seed in range(seeds):
+        rng = random.Random(0xE715 + seed)
+        n = rng.randint(2, 4)
+        arcs = [(i, (i + 1) % n) for i in range(n)]
+        for _ in range(rng.randint(0, 6 - n)):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u != v:
+                arcs.append((u, v))
+        net = Network(f"bf{seed}")
+        net.add_nodes(n)
+        vcs: dict[tuple[int, int], int] = {}
+        for u, v in arcs:
+            vc = vcs.get((u, v), 0)
+            vcs[(u, v)] = vc + 1
+            net.add_channel(u, v, vc=vc)
+        net.freeze()
+        verdict = decide_existence(net)
+        expected, _ = brute_force_existence(net)
+        if verdict.exists is not expected or not verdict.verify(net):
+            mismatches += 1
+    return mismatches

@@ -16,6 +16,9 @@ Subcommands
 ``sim-sweep``     fan a simulation grid across a process pool;
 ``profile``       cProfile a named bench scenario and rank its hotspots;
 ``fuzz``          differential-fuzz the verifier stack (or replay the corpus);
+``exists``        decide whether *any* deadlock-free routing relation exists on
+                  a topology (Mendlovic--Matias), with witness synthesis and
+                  incremental link-flap re-decision;
 ``reverify``      apply deltas (link faults/repairs, table edits, VC adds) to an
                   algorithm and incrementally re-verify after each one;
 ``serve``         boot the sharded re-verification service and run a burst of
@@ -35,6 +38,10 @@ Examples::
         --patterns uniform,transpose --rates 0.1,0.2,0.3 --seeds 3,5 --jobs 4
     python -m repro fuzz --seed 42 --cases 200 --corpus-dir corpus
     python -m repro fuzz --replay-corpus corpus
+    python -m repro exists --all
+    python -m repro exists --scenario e-cube --witness --format json
+    python -m repro exists --topology torus --dims 4,4 --delta down:0>1@0 \
+        --delta up:0>1@0 --compare-full
     python -m repro reverify --algorithm west-first \
         --delta down:0>1@0 --delta up:0>1@0 --compare-full
     python -m repro serve --algorithms all --events 40 --workers 2 \
@@ -455,6 +462,119 @@ def cmd_fuzz(args) -> int:
     return 0 if report.clean else 1
 
 
+def _exists_row(name: str, net, *, witness: bool) -> tuple:
+    """Decide existence on one network; returns (verdict, json-able row)."""
+    import time
+
+    from .verify import decide_existence, synthesize_witness
+
+    t0 = time.perf_counter()
+    verdict = decide_existence(net)
+    seconds = time.perf_counter() - t0
+    row = {
+        "name": name,
+        "network": net.name,
+        "num_nodes": net.num_nodes,
+        "link_channels": len(net.link_channels),
+        "exists": verdict.exists,
+        "authoritative": verdict.authoritative,
+        "method": verdict.method,
+        "seconds": round(seconds, 6),
+    }
+    if witness and verdict.exists and verdict.schedule is not None:
+        w = synthesize_witness(net, verdict.schedule)
+        row["witness"] = w.kind
+        row["witness_relation"] = w.algorithm.name
+    if verdict.exists is False and verdict.obstruction is not None:
+        row["obstruction"] = verdict.obstruction.to_json()
+    return verdict, row
+
+
+def cmd_exists(args) -> int:
+    import json
+
+    from .scenario import all_specs, get as get_scenario
+
+    if args.all_scenarios:
+        rows = []
+        for spec in all_specs():
+            net = spec.instantiate().network
+            _, row = _exists_row(spec.name, net, witness=args.witness)
+            rows.append(row)
+        if args.format == "json":
+            print(json.dumps(rows, indent=2))
+            return 0
+        width = max(len(r["name"]) for r in rows)
+        nw = max(len("network"), *(len(r["network"]) for r in rows))
+        print(f"{'scenario'.ljust(width)}  {'network'.ljust(nw)}  chans  "
+              f"exists  method          ms")
+        for r in rows:
+            exists = {True: "yes", False: "NO ", None: "?  "}[r["exists"]]
+            extra = f"  [{r['witness']}]" if "witness" in r else ""
+            print(f"{r['name'].ljust(width)}  {r['network'].ljust(nw)}  "
+                  f"{r['link_channels']:<5}  {exists:<6}  {r['method']:<14}  "
+                  f"{r['seconds'] * 1000:6.1f}{extra}")
+        return 0
+
+    if args.scenario:
+        try:
+            net = get_scenario(args.scenario).instantiate().network
+        except KeyError:
+            raise SystemExit(
+                f"unknown scenario {args.scenario!r}; see `python -m repro scenarios`"
+            ) from None
+        name = args.scenario
+    elif args.topology:
+        net = _build_network(args)
+        name = net.name
+    else:
+        raise SystemExit("exists: need --scenario, --topology, or --all")
+
+    verdict, row = _exists_row(name, net, witness=args.witness)
+
+    if args.delta:
+        from .incremental import ExistenceSession, parse_delta
+
+        try:
+            deltas = [parse_delta(text) for text in args.delta]
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        session = ExistenceSession(net)
+        decision = session.decide()
+        steps = [{"delta": None, **row}]
+        print(f"baseline: {decision.describe()}")
+        mismatches = 0
+        for delta in deltas:
+            try:
+                decision = session.apply(delta)
+            except ValueError as exc:
+                raise SystemExit(f"cannot apply {delta}: {exc}") from None
+            print(f"{delta}: {decision.describe()}")
+            if args.compare_full:
+                full = session.full_decide()
+                same = full.digest == decision.digest
+                mismatches += not same
+                print(f"  full re-decision: digest "
+                      f"{'matches' if same else 'MISMATCH'} "
+                      f"({full.seconds:.3f}s cold vs "
+                      f"{decision.seconds:.3f}s incremental)")
+        if mismatches:
+            print(f"{mismatches} incremental verdict(s) diverged from cold re-decisions")
+            return 2
+        verdict = decision.verdict
+
+    if args.format == "json":
+        print(json.dumps(row, indent=2))
+    elif not args.delta:
+        print(verdict.describe())
+        if "witness" in row:
+            print(f"witness: {row['witness']} relation "
+                  f"{row['witness_relation']} (theorem-certified)")
+    if verdict.exists is True:
+        return 0
+    return 1 if verdict.exists is False else 2
+
+
 def cmd_reverify(args) -> int:
     from .incremental import IncrementalSession, parse_delta
     from .pipeline import JobSpec
@@ -759,6 +879,28 @@ def main(argv: list[str] | None = None) -> int:
     pf.add_argument("--replay-corpus", default=None, metavar="DIR",
                     help="replay a corpus directory instead of generating cases")
 
+    px = sub.add_parser(
+        "exists",
+        help="decide whether any deadlock-free routing exists on a topology",
+    )
+    px.add_argument("--scenario", default=None,
+                    help="scenario-registry name (see `python -m repro scenarios`)")
+    px.add_argument("--topology", default=None, choices=list(family_names()),
+                    help="topology family (alternative to --scenario)")
+    px.add_argument("--dims", default=None,
+                    help="comma-separated, e.g. 4,4 (hypercube: one number)")
+    px.add_argument("--vcs", type=int, default=1, help="virtual channels per link")
+    px.add_argument("--all", action="store_true", dest="all_scenarios",
+                    help="decide every scenario-registry topology and print a table")
+    px.add_argument("--witness", action="store_true",
+                    help="on YES, synthesize and name the certified witness relation")
+    px.add_argument("--delta", action="append", default=None, metavar="DELTA",
+                    help="link delta, repeatable: down:SRC>DST@VC or up:SRC>DST@VC "
+                         "(re-decided incrementally)")
+    px.add_argument("--compare-full", action="store_true",
+                    help="audit every incremental re-decision against a cold one")
+    px.add_argument("--format", default="text", choices=["text", "json"])
+
     pi = sub.add_parser(
         "reverify",
         help="apply deltas to an algorithm and incrementally re-verify each one",
@@ -820,6 +962,7 @@ def main(argv: list[str] | None = None) -> int:
         "sim-sweep": cmd_sim_sweep,
         "profile": cmd_profile,
         "fuzz": cmd_fuzz,
+        "exists": cmd_exists,
         "reverify": cmd_reverify,
         "serve": cmd_serve,
         "regen-golden": cmd_regen_golden,

@@ -543,6 +543,22 @@ class DepGraph:
         )
 
 
+def channel_adjacency(network: "Network") -> DepGraph:
+    """The link-channel adjacency digraph: ``c -> c'`` iff ``head(c) == tail(c')``.
+
+    The coarsest dependency structure a network supports -- every CDG, CWG,
+    and ECDG is a subgraph of it, and the existence decider's incremental
+    session refreshes its Tarjan decomposition through
+    :meth:`DepGraph.refresh_scc_from` to bound which certificates a link
+    delta can invalidate.  Payload masks are 1 (pure structure).
+    """
+    edges: dict[tuple[int, int], int] = {}
+    for c in network.link_channels:
+        for c2 in network.out_channels(c.dst):
+            edges[(c.cid, c2.cid)] = 1
+    return DepGraph(network, edges)
+
+
 def dirty_components(dep: DepGraph, touched: Iterable[int]) -> set[int]:
     """Condensation labels of ``dep`` whose SCC membership a delta may change.
 

@@ -29,6 +29,9 @@ dally-seitz (CDG)      deadlock_free   never (necessity unsound for
                                        waiting-channel regimes: Figure 4)
 sim (adversarial)      never           deadlock detector fired
 incremental            never           never (self-checking: see below)
+existence              never           authoritative NO: *no* relation on
+                                       this network is deadlock-free, so
+                                       the generated one isn't either
 =====================  ==============  ==================================
 
 The ``incremental`` checker is metamorphic in a different sense: it claims
@@ -37,6 +40,17 @@ incremental session after a battery of deltas and compares each verdict
 digest against a cold full rebuild.  Any difference is reported as an
 ``incremental-divergence`` discrepancy -- the two paths compute the same
 question, so agreement is an invariant, not an implication.
+
+The ``existence`` checker decides a *network-level* question -- does any
+deadlock-free relation exist on this channel digraph at all
+(:mod:`repro.verify.existence`)?  Both answers are metamorphic teeth.  An
+authoritative NO claims deadlock for the generated relation (whatever it
+is), so any checker certifying freedom trips the ordinary
+``free-vs-deadlock`` rule.  A YES must be *realizable*: the checker
+synthesizes the witness relation from its ordering certificate and runs
+the theorem checker over it; a rejected witness is reported as an
+``existence-divergence`` discrepancy -- self-checking, like the
+incremental oracle.  An UNDETERMINED verdict claims nothing.
 
 One extra cross-check rides along: for SPECIFIC-waiting relations the
 enumerate-then-classify Theorem 2 and the segment-chain-search Theorem 2
@@ -250,6 +264,49 @@ def check_incremental(algorithm: RoutingAlgorithm, *, stale_scc: bool = False) -
     )
 
 
+def check_existence(
+    algorithm: RoutingAlgorithm,
+    *,
+    decide: Callable[[Any], Any] | None = None,
+) -> CheckerResult:
+    """Network-level existence oracle (:mod:`repro.verify.existence`).
+
+    ``decide`` overrides the decision procedure -- the planted
+    ``existence-ignore-scc`` variant swaps in its per-edge decider here,
+    exactly as ``check_incremental`` takes ``stale_scc``.  A YES verdict is
+    never passed through on faith: the witness relation synthesized from
+    the ordering certificate must survive the theorem checker, else the
+    result carries a ``divergence``.
+    """
+    from ..verify.existence import decide_existence, synthesize_witness
+
+    net = algorithm.network
+    verdict = (decide or decide_existence)(net)
+    divergence = None
+    detail = verdict.describe()
+    if verdict.exists is True and verdict.schedule is not None:
+        witness = synthesize_witness(net, verdict.schedule)
+        wv = verify(witness.algorithm, **BOUNDS)
+        if not wv.deadlock_free:
+            divergence = (
+                f"existence certifies a deadlock-free relation exists "
+                f"(method {verdict.method}) but the theorem checker rejects the "
+                f"synthesized {witness.kind} witness: {wv.reason}"
+            )
+        else:
+            detail += f"; {witness.kind} witness certified by the theorem checker"
+    claims_deadlock = verdict.exists is False and verdict.authoritative
+    return CheckerResult(
+        checker="existence", condition="existence (channel ordering)",
+        # the raw answer concerns the network, not this relation: only an
+        # authoritative NO decides the given relation (nothing is free there)
+        deadlock_free=False if claims_deadlock else None,
+        authoritative=verdict.authoritative,
+        claims_free=False, claims_deadlock=claims_deadlock,
+        detail=detail, divergence=divergence,
+    )
+
+
 @dataclass(frozen=True)
 class Checker:
     """A named oracle: callable(algorithm) -> CheckerResult | None."""
@@ -266,6 +323,7 @@ REAL_CHECKERS: tuple[Checker, ...] = (
     Checker("dally-seitz", check_dally_seitz),
     Checker("sim", check_simulator),
     Checker("incremental", check_incremental),
+    Checker("existence", check_existence),
 )
 
 
@@ -303,7 +361,7 @@ class Discrepancy:
     """A violated implication between two checkers on one case."""
 
     kind: str          # "free-vs-deadlock" | "authoritative-disagreement"
-                       # | "incremental-divergence"
+                       # | "<checker>-divergence" (self-checking oracles)
     free_checker: str
     deadlock_checker: str
     detail: str = ""
@@ -366,12 +424,15 @@ def run_stack(algorithm: RoutingAlgorithm, stack: OracleStack = REAL_STACK) -> O
         if result is not None:
             report.results.append(result)
 
-    # Self-checking oracles carry their own discrepancy: the incremental
-    # checker's two computation paths answered the same question differently.
+    # Self-checking oracles carry their own discrepancy: two computation
+    # paths inside one checker answered the same question differently (the
+    # incremental digest comparison, the existence witness certification).
+    # The kind is derived per checker; "incremental-divergence" is kept
+    # verbatim so committed corpus discrepancy keys stay stable.
     for r in report.results:
         if r.divergence:
             report.discrepancies.append(Discrepancy(
-                kind="incremental-divergence",
+                kind=f"{r.checker}-divergence",
                 free_checker=r.checker,
                 deadlock_checker=r.checker,
                 detail=r.divergence,

@@ -38,6 +38,19 @@ Variants
     tables and dependency graphs.  The oracle's full-rebuild comparison
     must catch the divergence -- proving the campaign would fire on a real
     invalidation bug in the incremental engine.
+``existence-ignore-scc``
+    Replaces the existence checker's obstruction detection with a per-edge
+    scope: each forced-precedence constraint is inspected in isolation
+    (only degenerate self-cycles ``b < b`` can refute), never the strongly
+    connected components of the constraint digraph -- where every real
+    obstruction lives (the unidirectional ring's is a 3-cycle of
+    constraints with no self-loop).  On non-orderable networks the broken
+    decider therefore claims YES, backs the claim with an unverified
+    channel order, and the synthesized witness relation comes out
+    unroutable for at least one pair -- the theorem checker rejects it and
+    the ``existence-divergence`` self-check fires.  The teeth are the
+    YES-side of the metamorphic rule: a bogus existence claim cannot
+    survive witness certification.
 """
 
 from __future__ import annotations
@@ -122,10 +135,47 @@ def _broken_incremental(algorithm: RoutingAlgorithm) -> CheckerResult:
     return check_incremental(algorithm, stale_scc=True)
 
 
+def _decide_ignore_scc(network):
+    """Existence decision with the obstruction scope broken to per-edge.
+
+    The correct pipeline runs first; only its NO verdicts -- the ones that
+    needed a constraint *cycle* or the exhaustive search -- are re-decided
+    with the per-edge scope.  A surviving self-loop constraint still
+    refutes; otherwise the variant declares YES on the strength of an
+    unverified cid-order schedule, which is exactly the bug: absence of a
+    single-edge obstruction is not absence of an obstruction.
+    """
+    from dataclasses import replace
+
+    from ..verify.existence import decide_existence, forced_cycle
+
+    verdict = decide_existence(network)
+    if verdict.exists is not False:
+        return verdict
+    obstruction = forced_cycle(network, per_edge=True)
+    if obstruction is not None:
+        return replace(verdict, method="per-edge", obstruction=obstruction)
+    return replace(
+        verdict,
+        exists=True,
+        method="per-edge",
+        schedule=tuple(c.cid for c in network.link_channels),
+        obstruction=None,
+        reason="no per-edge forced-precedence obstruction (broken scope)",
+    )
+
+
+def _broken_existence(algorithm: RoutingAlgorithm) -> CheckerResult:
+    from .oracles import check_existence
+
+    return check_existence(algorithm, decide=_decide_ignore_scc)
+
+
 _REPLACEMENTS: dict[str, Checker] = {
     "cwg-immediate": Checker("theorem", _broken_theorem),
     "duato-no-indirect": Checker("duato", _broken_duato),
     "incremental-stale-scc": Checker("incremental", _broken_incremental),
+    "existence-ignore-scc": Checker("existence", _broken_existence),
 }
 
 PLANTED_VARIANTS = tuple(_REPLACEMENTS)

@@ -24,6 +24,12 @@ from .deltas import (
     parse_delta,
     parse_table_key,
 )
+from .existence import (
+    ExistenceDecision,
+    ExistenceSession,
+    default_link_flap,
+    semantic_digest,
+)
 from .overlay import OverlayRouting, RouteRecorder
 from .session import (
     FullCheckResult,
@@ -35,6 +41,8 @@ from .session import (
 
 __all__ = [
     "Delta",
+    "ExistenceDecision",
+    "ExistenceSession",
     "FullCheckResult",
     "IncrementalSession",
     "LinkDown",
@@ -45,10 +53,12 @@ __all__ = [
     "TableEdit",
     "VcAdd",
     "default_fault_pair",
+    "default_link_flap",
     "default_table_edit",
     "delta_from_json",
     "delta_to_json",
     "format_delta",
     "parse_delta",
     "parse_table_key",
+    "semantic_digest",
 ]

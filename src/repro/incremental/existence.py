@@ -1,0 +1,358 @@
+"""Incremental re-decision of deadlock-free-routing *existence* under link deltas.
+
+:func:`repro.verify.existence.decide_existence` answers a network-level
+question, so the only deltas that can move it are the structural ones --
+:class:`~repro.incremental.deltas.LinkDown` and
+:class:`~repro.incremental.deltas.LinkUp`.  An :class:`ExistenceSession`
+keeps the current verdict hot across a flap stream and re-decides as
+little as possible:
+
+* **monotone fast paths** -- orderability is monotone in the arc set
+  (extra arcs go at the top of an order, never breaking it), so a
+  ``LinkUp`` on a cached YES keeps YES: the old schedule is remapped to
+  the new cids, the fresh arcs appended, and the result re-simulated.
+  Dually a ``LinkDown`` on a cached NO keeps NO whenever the
+  obstruction's channels survive: fewer paths only strengthen an
+  unavoidability constraint, and each :class:`ForcedStep` is re-verified
+  from raw reachability rather than trusted.
+* **certificate revalidation** -- a ``LinkDown`` on a YES replays the
+  surviving schedule through :func:`simulate_schedule`; only a schedule
+  that actually relied on the downed channel forces a fresh decision.
+  (``LinkUp`` on a NO has no shortcut: the new arc may create the very
+  paths the obstruction needed to be unavoidable.)
+* **dirty-SCC refresh** -- the session keeps the link-channel adjacency
+  :class:`~repro.core.depgraph.DepGraph`
+  (:func:`~repro.core.depgraph.channel_adjacency`) and refreshes its
+  Tarjan decomposition through
+  :meth:`~repro.core.depgraph.DepGraph.refresh_scc_from` on every delta,
+  reporting the dirty-component frontier alongside the verdict; the
+  ``scc_frontier_violations`` tripwire stays pinned at zero.
+
+Incremental-vs-cold agreement is pinned on the :func:`semantic_digest`
+-- the network shape plus the decided ``exists``/``authoritative`` bits
+-- not on the full certificate digest: the fast paths legitimately carry
+a *different* (remapped) certificate than a cold run would construct,
+and either certificate is acceptable because both are machine-verified
+against the current network before the verdict is returned.
+
+Channels are tracked as ``(src, dst, vc)`` triples because rebuilding a
+network renumbers cids; certificates cross the rebuild boundary through
+:func:`~repro.verify.existence.schedule_triples` /
+``schedule_from_triples`` and the per-step remapping in
+:meth:`ExistenceSession._remap_obstruction`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.depgraph import DepGraph, channel_adjacency
+from ..topology.network import Network, NetworkError
+from ..verify.existence import (
+    ExistenceVerdict,
+    ForcedStep,
+    Obstruction,
+    decide_existence,
+    schedule_from_triples,
+    schedule_triples,
+    verify_schedule,
+)
+from .deltas import Delta, LinkDown, LinkUp
+
+__all__ = [
+    "ExistenceDecision",
+    "ExistenceSession",
+    "default_link_flap",
+    "semantic_digest",
+]
+
+Triple = tuple[int, int, int]
+
+
+def semantic_digest(verdict: ExistenceVerdict) -> str:
+    """Digest of the *decision* (network shape + verdict bits), not the proof.
+
+    Two runs that agree on whether a deadlock-free routing exists hash
+    identically even when they constructed different certificates; the
+    delta matrix pins incremental-vs-cold equality on this.
+    """
+    payload = {
+        "network": verdict.network,
+        "num_nodes": verdict.num_nodes,
+        "num_channels": verdict.num_channels,
+        "exists": verdict.exists,
+        "authoritative": verdict.authoritative,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(blob.encode(), digest_size=16).hexdigest()
+
+
+@dataclass
+class ExistenceDecision:
+    """One (re-)decision: the verdict plus how it was obtained."""
+
+    verdict: ExistenceVerdict
+    #: :func:`semantic_digest` of the verdict -- the incremental-vs-cold
+    #: pinning key
+    digest: str
+    #: True when a monotone fast path revalidated the previous certificate
+    #: instead of running the full decision pipeline
+    reused: bool
+    seconds: float
+    #: dirty-SCC refresh stats of the channel-adjacency kernel (empty on
+    #: the baseline decision)
+    refresh: dict[str, int] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        how = "reused certificate" if self.reused else "re-decided"
+        return (
+            f"{self.verdict.describe()} [{how}, {self.seconds * 1000:.1f}ms, "
+            f"dirty sccs={self.refresh.get('scc_dirty_components', 0)}]"
+        )
+
+
+class ExistenceSession:
+    """Existence verdicts for one network under a stream of link deltas."""
+
+    def __init__(self, network: Network, **decide_kwargs: Any) -> None:
+        self._decide_kwargs = decide_kwargs
+        self._triples: list[Triple] = [
+            (c.src, c.dst, c.vc) for c in network.link_channels
+        ]
+        self._name = network.name
+        self._network = network
+        self._adjacency: DepGraph = channel_adjacency(network)
+        self._last: ExistenceDecision | None = None
+        self.stats = {"decisions": 0, "reused": 0, "redecided": 0}
+
+    # ------------------------------------------------------------------
+    @property
+    def network(self) -> Network:
+        """The current network (rebuilt after each structural delta)."""
+        return self._network
+
+    def decide(self) -> ExistenceDecision:
+        """The current verdict (cached; decides cold on first use)."""
+        if self._last is None:
+            self._last = self._cold(refresh={})
+        return self._last
+
+    def full_decide(self) -> ExistenceDecision:
+        """A cold decision on the current network (audit path, uncached)."""
+        t0 = time.perf_counter()
+        verdict = decide_existence(self._network, **self._decide_kwargs)
+        return ExistenceDecision(
+            verdict=verdict,
+            digest=semantic_digest(verdict),
+            reused=False,
+            seconds=time.perf_counter() - t0,
+        )
+
+    # ------------------------------------------------------------------
+    def apply(self, delta: Delta) -> ExistenceDecision:
+        """Apply a link delta and return the (re-)decided verdict."""
+        previous = self.decide().verdict
+        t0 = time.perf_counter()
+        old_network = self._network
+        # capture the previous certificate in cid-stable form before the
+        # rebuild renumbers everything
+        prev_schedule: tuple[Triple, ...] | None = None
+        prev_steps: tuple[tuple[Triple, Triple, int, int], ...] | None = None
+        if previous.exists is True and previous.schedule is not None:
+            prev_schedule = schedule_triples(old_network, previous.schedule)
+        elif (
+            previous.exists is False
+            and previous.obstruction is not None
+            and previous.obstruction.kind == "forced-cycle"
+        ):
+            prev_steps = tuple(
+                (
+                    self._triple_on(old_network, s.before),
+                    self._triple_on(old_network, s.after),
+                    s.source,
+                    s.dest,
+                )
+                for s in previous.obstruction.steps
+            )
+        if isinstance(delta, LinkDown):
+            triple = (delta.src, delta.dst, delta.vc)
+            if triple not in self._triples:
+                raise ValueError(f"no link channel {triple} to take down")
+            self._triples.remove(triple)
+        elif isinstance(delta, LinkUp):
+            triple = (delta.src, delta.dst, delta.vc)
+            if triple in self._triples:
+                raise ValueError(f"link channel {triple} is already up")
+            self._triples.append(triple)
+        else:
+            raise ValueError(
+                f"existence is a network-level question; delta "
+                f"{type(delta).__name__} does not change the channel digraph"
+            )
+        old_adjacency = self._adjacency
+        self._network = self._rebuild()
+        self._adjacency = channel_adjacency(self._network)
+        touched = [
+            c.cid
+            for c in old_network.link_channels
+            if (c.src, c.dst) == (delta.src, delta.dst)
+            or c.src == delta.dst
+            or c.dst == delta.src
+        ]
+        refresh = self._adjacency.refresh_scc_from(old_adjacency, touched)
+        fast = self._fast_path(previous, delta, prev_schedule, prev_steps)
+        self.stats["decisions"] += 1
+        if fast is not None:
+            self.stats["reused"] += 1
+            self._last = ExistenceDecision(
+                verdict=fast,
+                digest=semantic_digest(fast),
+                reused=True,
+                seconds=time.perf_counter() - t0,
+                refresh=refresh,
+            )
+            return self._last
+        self.stats["redecided"] += 1
+        verdict = decide_existence(self._network, **self._decide_kwargs)
+        self._last = ExistenceDecision(
+            verdict=verdict,
+            digest=semantic_digest(verdict),
+            reused=False,
+            seconds=time.perf_counter() - t0,
+            refresh=refresh,
+        )
+        return self._last
+
+    # ------------------------------------------------------------------
+    def _cold(self, *, refresh: dict[str, int]) -> ExistenceDecision:
+        t0 = time.perf_counter()
+        verdict = decide_existence(self._network, **self._decide_kwargs)
+        self.stats["decisions"] += 1
+        self.stats["redecided"] += 1
+        return ExistenceDecision(
+            verdict=verdict,
+            digest=semantic_digest(verdict),
+            reused=False,
+            seconds=time.perf_counter() - t0,
+            refresh=refresh,
+        )
+
+    def _rebuild(self) -> Network:
+        net = Network(self._name)
+        net.add_nodes(self._network.num_nodes)
+        for src, dst, vc in self._triples:
+            net.add_channel(src, dst, vc=vc)
+        return net.freeze()
+
+    @staticmethod
+    def _triple_on(network: Network, cid: int) -> Triple:
+        c = network.channel(cid)
+        return (c.src, c.dst, c.vc)
+
+    # ------------------------------------------------------------------
+    # monotone fast paths: every reuse re-verifies its certificate against
+    # the *current* network from scratch before the verdict is returned
+    # ------------------------------------------------------------------
+    def _fast_path(
+        self,
+        previous: ExistenceVerdict,
+        delta: Delta,
+        prev_schedule: tuple[Triple, ...] | None,
+        prev_steps: tuple[tuple[Triple, Triple, int, int], ...] | None,
+    ) -> ExistenceVerdict | None:
+        if isinstance(delta, LinkUp) and previous.exists is True:
+            if prev_schedule is None:
+                return None
+            # an added arc extends any valid order at the top
+            old_cids = schedule_from_triples(self._network, prev_schedule)
+            if old_cids is None:
+                return None
+            fired = set(old_cids)
+            added = sorted(
+                c.cid for c in self._network.link_channels if c.cid not in fired
+            )
+            candidate = tuple(old_cids) + tuple(added)
+            if verify_schedule(self._network, candidate):
+                return self._revalidated(previous, schedule=candidate)
+            return None
+        if isinstance(delta, LinkDown) and previous.exists is False:
+            obstruction = self._remap_obstruction(prev_steps)
+            if obstruction is not None and obstruction.verify(self._network):
+                return self._revalidated(previous, obstruction=obstruction)
+            return None
+        if isinstance(delta, LinkDown) and previous.exists is True:
+            if prev_schedule is None:
+                return None
+            downed = (delta.src, delta.dst, delta.vc)
+            survivors = tuple(t for t in prev_schedule if t != downed)
+            new_cids = schedule_from_triples(self._network, survivors)
+            if new_cids is not None and verify_schedule(self._network, new_cids):
+                return self._revalidated(previous, schedule=new_cids)
+            return None
+        # LinkUp on a NO: the new arc may create exactly the alternative
+        # paths the obstruction needed to be unavoidable -- no shortcut
+        return None
+
+    def _remap_obstruction(
+        self, prev_steps: tuple[tuple[Triple, Triple, int, int], ...] | None
+    ) -> Obstruction | None:
+        if not prev_steps:
+            return None
+        index: dict[Triple, int] = {
+            (c.src, c.dst, c.vc): c.cid for c in self._network.link_channels
+        }
+        steps: list[ForcedStep] = []
+        for before_t, after_t, source, dest in prev_steps:
+            before = index.get(before_t)
+            after = index.get(after_t)
+            if before is None or after is None:
+                return None
+            steps.append(
+                ForcedStep(before=before, after=after, source=source, dest=dest)
+            )
+        return Obstruction(steps=tuple(steps), kind="forced-cycle")
+
+    def _revalidated(
+        self,
+        previous: ExistenceVerdict,
+        *,
+        schedule: tuple[int, ...] | None = None,
+        obstruction: Obstruction | None = None,
+    ) -> ExistenceVerdict:
+        return ExistenceVerdict(
+            network=self._network.name,
+            num_nodes=self._network.num_nodes,
+            num_channels=len(self._network.link_channels),
+            exists=previous.exists,
+            authoritative=True,
+            method=f"incremental:{previous.method}",
+            schedule=schedule,
+            obstruction=obstruction,
+            reason=previous.reason,
+            evidence={"reused_from": previous.method},
+        )
+
+
+def default_link_flap(network: Network) -> tuple[LinkDown, LinkUp]:
+    """The session-default flap pair: down then restore one link channel.
+
+    Picks the lowest-cid link channel whose removal keeps the network
+    strongly connected (so the downed network is still a valid instance),
+    mirroring the verdict-matrix ``default_fault_pair`` convention.
+    """
+    for c in network.link_channels:
+        trial = Network(network.name)
+        trial.add_nodes(network.num_nodes)
+        for other in network.link_channels:
+            if other.cid != c.cid:
+                trial.add_channel(other.src, other.dst, vc=other.vc)
+        try:
+            trial.freeze()
+        except NetworkError:
+            continue
+        return LinkDown(c.src, c.dst, c.vc), LinkUp(c.src, c.dst, c.vc)
+    raise ValueError("no link channel can fail without disconnecting the network")

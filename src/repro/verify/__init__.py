@@ -7,11 +7,24 @@ Three generations of theory, all mechanized:
   Duato's extended-CDG condition (the titled ICPP'94 paper);
 * :func:`~repro.verify.necsuf.theorem1/2/3` / ``verify`` -- the channel
   waiting graph condition of the supplied text, applicable to any routing
-  relation using local information.
+  relation using local information;
+* :func:`~repro.verify.existence.decide_existence` -- the network-level
+  question those three presuppose an answer to: does *any* deadlock-free
+  relation exist on this channel digraph (Mendlovic--Matias,
+  arXiv:2503.04583), with a constructive witness either way.
 """
 
 from .dally_seitz import dally_seitz, is_nonadaptive
 from .duato import applicability, duato_condition, search_escape
+from .existence import (
+    ExistenceVerdict,
+    Obstruction,
+    Witness,
+    brute_force_existence,
+    decide_existence,
+    simulate_schedule,
+    synthesize_witness,
+)
 from .necsuf import (
     DeadlockConfiguration,
     deadlock_configuration,
@@ -24,16 +37,23 @@ from .report import VerificationError, Verdict, ordered_witness, stable_evidence
 
 __all__ = [
     "DeadlockConfiguration",
+    "ExistenceVerdict",
+    "Obstruction",
     "VerificationError",
     "Verdict",
+    "Witness",
     "applicability",
+    "brute_force_existence",
     "dally_seitz",
     "deadlock_configuration",
+    "decide_existence",
     "duato_condition",
     "is_nonadaptive",
     "ordered_witness",
     "search_escape",
+    "simulate_schedule",
     "stable_evidence",
+    "synthesize_witness",
     "theorem1",
     "theorem2",
     "theorem3",

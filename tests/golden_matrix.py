@@ -31,6 +31,18 @@ deltas derived, same verdicts, same digests.  Regenerate (same caveat)
 with::
 
     PYTHONPATH=src:tests python -m golden_matrix --write-deltas
+
+And the **existence matrix**: for every scenario-registry topology, the
+pinned answer to "does *any* deadlock-free routing relation exist here?"
+(:func:`repro.verify.decide_existence`) with its decision method, witness
+tier, and semantic digest (``tests/fixtures/existence_matrix.json``) --
+plus the **existence delta matrix**
+(``tests/fixtures/existence_delta_matrix.json``), which flaps the
+session-default link channel through
+:class:`repro.incremental.ExistenceSession` and pins each step's verdict,
+fast-path reuse flag, and incremental-vs-cold semantic-digest agreement.
+Regenerate (same caveat) with ``--write-existence`` /
+``--write-existence-deltas``.
 """
 
 from __future__ import annotations
@@ -247,6 +259,111 @@ def write_delta_fixture() -> dict[str, dict]:
     return rows
 
 
+# ----------------------------------------------------------------------
+# the existence matrix (network-level deadlock-free-routing existence)
+# ----------------------------------------------------------------------
+EXISTENCE_FIXTURE = Path(__file__).resolve().parent / "fixtures" / "existence_matrix.json"
+EXISTENCE_DELTA_FIXTURE = (
+    Path(__file__).resolve().parent / "fixtures" / "existence_delta_matrix.json"
+)
+
+
+def existence_scenarios() -> list[str]:
+    """Every scenario-registry topology is an existence-matrix row."""
+    from repro.scenario import names
+
+    return sorted(names())
+
+
+def run_existence_case(name: str) -> dict:
+    """One scenario's pinned existence decision (certificates re-verified).
+
+    The row pins the verdict bits, the decision method, the witness tier,
+    and that both the channel-ordering certificate and the synthesized
+    witness relation machine-verify -- so a regression in any decision
+    tier or in witness synthesis shows up as a fixture diff.
+    """
+    from repro.incremental.existence import semantic_digest
+    from repro.scenario import get
+    from repro.verify import decide_existence, synthesize_witness, verify
+
+    net = get(name).instantiate().network
+    verdict = decide_existence(net)
+    row = {
+        "exists": verdict.exists,
+        "authoritative": verdict.authoritative,
+        "method": verdict.method,
+        "link_channels": len(net.link_channels),
+        "digest": semantic_digest(verdict),
+        "certificate_verified": verdict.verify(net),
+    }
+    if verdict.exists and verdict.schedule is not None:
+        witness = synthesize_witness(net, verdict.schedule)
+        row["witness"] = witness.kind
+        row["witness_certified"] = bool(verify(witness.algorithm).deadlock_free)
+    return row
+
+
+def run_existence_delta_case(name: str) -> dict:
+    """One scenario's pinned link-flap re-decision through ExistenceSession.
+
+    Flaps the session-default link channel (down, then restore) and pins
+    each step's verdict, whether the monotone fast path reused the previous
+    certificate, that the incremental semantic digest equals a cold
+    re-decision's, and that the dirty-SCC refresh reported zero frontier
+    violations.
+    """
+    from repro.incremental import ExistenceSession, default_link_flap, format_delta
+    from repro.scenario import get
+
+    net = get(name).instantiate().network
+    session = ExistenceSession(net)
+    base = session.decide()
+    out: dict = {"baseline": {"exists": base.verdict.exists, "digest": base.digest}}
+    steps = []
+    for delta in default_link_flap(net):
+        decision = session.apply(delta)
+        cold = session.full_decide()
+        steps.append({
+            "delta": format_delta(delta),
+            "exists": decision.verdict.exists,
+            "digest": decision.digest,
+            "reused": decision.reused,
+            "matches_cold": decision.digest == cold.digest,
+            "frontier_violations": decision.refresh.get("scc_frontier_violations", 0),
+        })
+    out["steps"] = steps
+    return out
+
+
+def load_existence_fixture() -> dict[str, dict]:
+    with open(EXISTENCE_FIXTURE) as f:
+        return json.load(f)
+
+
+def write_existence_fixture() -> dict[str, dict]:
+    rows = {name: run_existence_case(name) for name in existence_scenarios()}
+    EXISTENCE_FIXTURE.parent.mkdir(exist_ok=True)
+    with open(EXISTENCE_FIXTURE, "w") as f:
+        json.dump(rows, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return rows
+
+
+def load_existence_delta_fixture() -> dict[str, dict]:
+    with open(EXISTENCE_DELTA_FIXTURE) as f:
+        return json.load(f)
+
+
+def write_existence_delta_fixture() -> dict[str, dict]:
+    rows = {name: run_existence_delta_case(name) for name in existence_scenarios()}
+    EXISTENCE_DELTA_FIXTURE.parent.mkdir(exist_ok=True)
+    with open(EXISTENCE_DELTA_FIXTURE, "w") as f:
+        json.dump(rows, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return rows
+
+
 def load_fixture() -> dict[str, str]:
     with open(FIXTURE) as f:
         return json.load(f)
@@ -264,7 +381,21 @@ def write_fixture() -> dict[str, str]:
 if __name__ == "__main__":
     import sys
 
-    if "--write-deltas" in sys.argv:
+    if "--write-existence" in sys.argv:
+        for name, row in write_existence_fixture().items():
+            exists = {True: "yes", False: "NO", None: "?"}[row["exists"]]
+            print(f"{name:24} exists={exists:3} via {row['method']} "
+                  f"witness={row.get('witness', '-')}")
+        print(f"wrote {len(existence_scenarios())} existence rows to {EXISTENCE_FIXTURE}")
+    elif "--write-existence-deltas" in sys.argv:
+        for name, row in write_existence_delta_fixture().items():
+            reused = sum(s["reused"] for s in row["steps"])
+            cold_ok = all(s["matches_cold"] for s in row["steps"])
+            print(f"{name:24} steps={len(row['steps'])} reused={reused} "
+                  f"cold={'ok' if cold_ok else 'MISMATCH'}")
+        print(f"wrote {len(existence_scenarios())} existence delta rows to "
+              f"{EXISTENCE_DELTA_FIXTURE}")
+    elif "--write-deltas" in sys.argv:
         for name, row in write_delta_fixture().items():
             print(f"{name:24} baseline={row['baseline']['digest'][:12]}")
         print(f"wrote {len(delta_algorithms())} delta rows to {DELTA_FIXTURE}")

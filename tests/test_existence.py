@@ -1,0 +1,325 @@
+"""The existence decision (Mendlovic--Matias, arXiv:2503.04583).
+
+Four angles, mirroring the layered design of :mod:`repro.verify.existence`:
+
+* **differential** -- the tiered decision procedure agrees with brute-force
+  schedule enumeration on every small random digraph, and both certificates
+  machine-verify;
+* **metamorphic** -- necessity (a theorem-certified deadlock-free relation
+  can only live on a YES network) and arc-monotonicity (adding arcs
+  preserves YES);
+* **constructive** -- every synthesized witness relation is certified by
+  the theorem checker, nd-minimal witnesses additionally by Duato's
+  condition;
+* **certificates** -- forced-precedence obstructions verify from raw
+  reachability and are minimal under single-step removal; schedules
+  round-trip through the cid-stable triple encoding.
+"""
+
+from __future__ import annotations
+
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.topology import (
+    build_figure1_network,
+    build_figure4_ring,
+    build_hypercube,
+    build_mesh,
+    build_torus,
+)
+from repro.topology.network import Network, network_from_edges
+from repro.verify import (
+    brute_force_existence,
+    decide_existence,
+    search_escape,
+    synthesize_witness,
+    verify,
+)
+from repro.verify.existence import (
+    Obstruction,
+    schedule_from_triples,
+    schedule_triples,
+    verify_schedule,
+)
+from tests.generative import RandomMinimalRouting, derive_seed, routed_networks
+
+
+def uniring(n: int) -> Network:
+    """Unidirectional n-ring: the canonical non-orderable network."""
+    return network_from_edges(
+        n, [(i, (i + 1) % n) for i in range(n)], name=f"uniring{n}"
+    )
+
+
+@st.composite
+def small_digraphs(draw) -> Network:
+    """Strongly connected digraphs with at most 6 link channels.
+
+    A unidirectional ring guarantees strong connectivity; extra arcs (which
+    may parallel existing ones, taking the next virtual channel) push the
+    instance toward orderability, so the strategy covers both verdicts.
+    """
+    n = draw(st.integers(min_value=2, max_value=4))
+    arcs = [(i, (i + 1) % n) for i in range(n)]
+    arcs += draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+            lambda e: e[0] != e[1]
+        ),
+        max_size=6 - n,
+    ))
+    net = Network(f"digraph{n}")
+    net.add_nodes(n)
+    vcs: dict[tuple[int, int], int] = {}
+    for u, v in arcs:
+        vc = vcs.get((u, v), 0)
+        vcs[(u, v)] = vc + 1
+        net.add_channel(u, v, vc=vc)
+    return net.freeze()
+
+
+# ----------------------------------------------------------------------
+# differential: the tiered decision vs brute-force enumeration
+# ----------------------------------------------------------------------
+@given(net=small_digraphs())
+def test_decision_matches_brute_force(net):
+    verdict = decide_existence(net)
+    assert verdict.authoritative, verdict.reason
+    expected, _ = brute_force_existence(net)
+    assert verdict.exists is expected
+    assert verdict.verify(net)
+
+
+@given(net=small_digraphs())
+def test_brute_force_witness_schedule_verifies(net):
+    exists, schedule = brute_force_existence(net)
+    if exists:
+        assert schedule is not None and verify_schedule(net, schedule)
+    else:
+        assert schedule is None
+
+
+# ----------------------------------------------------------------------
+# metamorphic: necessity and arc-monotonicity
+# ----------------------------------------------------------------------
+@given(pair=routed_networks())
+def test_certified_relation_implies_existence(pair):
+    """Necessity: a theorem-certified deadlock-free relation cannot live on
+    a network where no deadlock-free relation exists."""
+    net, algorithm = pair
+    report = verify(algorithm)
+    assume(report.deadlock_free and report.necessary_and_sufficient)
+    assert decide_existence(net).exists is not False
+
+
+@given(net=small_digraphs(), data=st.data())
+def test_adding_arcs_preserves_yes(net, data):
+    verdict = decide_existence(net)
+    assume(verdict.exists is True)
+    u = data.draw(st.integers(0, net.num_nodes - 1))
+    v = data.draw(st.integers(0, net.num_nodes - 1))
+    assume(u != v)
+    grown = Network(net.name + "+arc")
+    grown.add_nodes(net.num_nodes)
+    top_vc = 0
+    for c in net.link_channels:
+        grown.add_channel(c.src, c.dst, vc=c.vc)
+        if (c.src, c.dst) == (u, v):
+            top_vc = max(top_vc, c.vc + 1)
+    grown.add_channel(u, v, vc=top_vc)
+    assert decide_existence(grown.freeze()).exists is True
+
+
+def test_no_network_relations_never_certified():
+    """The authoritative-NO oracle semantics: on a non-orderable network
+    *every* sampled relation fails certification."""
+    net = uniring(3)
+    assert decide_existence(net).exists is False
+    from repro.routing.relation import WaitPolicy
+
+    for seed in range(4):
+        for policy in (WaitPolicy.ANY, WaitPolicy.SPECIFIC):
+            algorithm = RandomMinimalRouting(
+                net, derive_seed("no-net", seed, policy.value), policy
+            )
+            assert not verify(algorithm).deadlock_free
+
+
+# ----------------------------------------------------------------------
+# constructive: witness synthesis and certification
+# ----------------------------------------------------------------------
+@given(net=small_digraphs())
+def test_witness_certified_by_theorem_and_duato(net):
+    verdict = decide_existence(net)
+    assume(verdict.exists is True)
+    assert verdict.schedule is not None
+    witness = synthesize_witness(net, verdict.schedule)
+    assert verify(witness.algorithm).deadlock_free
+    if witness.kind == "nd-minimal":
+        assert search_escape(witness.algorithm).deadlock_free
+
+
+def test_witness_tiers_on_reference_topologies():
+    for build, kind in [
+        (lambda: build_mesh((3, 3)), "nd-minimal"),
+        (lambda: build_hypercube(3), "nd-minimal"),
+        (lambda: build_figure1_network(), "nd-minimal"),
+    ]:
+        net = build()
+        verdict = decide_existence(net)
+        assert verdict.exists is True
+        witness = synthesize_witness(net, verdict.schedule)
+        assert witness.kind == kind
+        assert verify(witness.algorithm).deadlock_free
+
+
+def test_reference_topologies_all_orderable():
+    for net in (
+        build_mesh((3, 3)),
+        build_mesh((4, 4), num_vcs=2),
+        build_hypercube(3),
+        build_torus((4, 4), num_vcs=2),
+        build_figure1_network(),
+        build_figure4_ring(),
+    ):
+        verdict = decide_existence(net)
+        assert verdict.exists is True, net.name
+        assert verdict.verify(net)
+
+
+# ----------------------------------------------------------------------
+# certificates: obstructions and schedules
+# ----------------------------------------------------------------------
+@given(n=st.integers(min_value=3, max_value=6))
+def test_uniring_obstruction_verifies_and_is_minimal(n):
+    verdict = decide_existence(uniring(n))
+    assert verdict.exists is False and verdict.authoritative
+    obstruction = verdict.obstruction
+    if obstruction is None or obstruction.kind != "forced-cycle":
+        return  # an exhausted-search NO certifies by re-search instead
+    net = uniring(n)
+    assert obstruction.verify(net)
+    for i in range(len(obstruction.steps)):
+        dropped = Obstruction(
+            steps=obstruction.steps[:i] + obstruction.steps[i + 1:],
+            kind="forced-cycle",
+        )
+        assert not dropped.verify(net)
+
+
+@given(net=small_digraphs())
+def test_forced_cycle_obstructions_minimal(net):
+    verdict = decide_existence(net)
+    assume(verdict.exists is False)
+    obstruction = verdict.obstruction
+    assume(obstruction is not None and obstruction.kind == "forced-cycle")
+    assert obstruction.verify(net)
+    for i in range(len(obstruction.steps)):
+        dropped = Obstruction(
+            steps=obstruction.steps[:i] + obstruction.steps[i + 1:],
+            kind="forced-cycle",
+        )
+        assert not dropped.verify(net)
+
+
+@given(net=small_digraphs())
+def test_schedule_triples_roundtrip(net):
+    verdict = decide_existence(net)
+    assume(verdict.schedule is not None)
+    triples = schedule_triples(net, verdict.schedule)
+    assert schedule_from_triples(net, triples) == tuple(verdict.schedule)
+    missing = ((net.num_nodes + 1, 0, 0),) + triples
+    assert schedule_from_triples(net, missing) is None
+
+
+@given(net=small_digraphs())
+def test_verdict_json_roundtrip_is_canonical(net):
+    import json
+
+    verdict = decide_existence(net)
+    doc = verdict.to_json()
+    assert json.loads(json.dumps(doc)) == doc
+    assert verdict.digest() == decide_existence(net).digest()
+
+
+# ----------------------------------------------------------------------
+# the fuzz oracle
+# ----------------------------------------------------------------------
+def test_check_existence_certifies_witness_on_yes():
+    from repro.fuzz.oracles import check_existence
+    from repro.routing import make
+
+    result = check_existence(make("e-cube", build_hypercube(3)))
+    assert result.claims_deadlock is False
+    assert result.deadlock_free is None
+    assert result.divergence is None
+    assert "witness certified" in result.detail
+
+
+def test_check_existence_claims_deadlock_on_no_network():
+    from repro.fuzz.oracles import check_existence
+    from repro.routing.relation import WaitPolicy
+
+    net = uniring(3)
+    algorithm = RandomMinimalRouting(net, derive_seed("oracle-no"), WaitPolicy.ANY)
+    result = check_existence(algorithm)
+    assert result.claims_deadlock is True
+    assert result.deadlock_free is False
+    assert result.authoritative
+
+
+def test_real_stack_quiet_on_no_network():
+    """On a non-orderable network the existence NO and every checker's
+    deadlock verdict agree -- no discrepancy fires."""
+    from repro.fuzz.oracles import REAL_STACK, run_stack
+    from repro.routing.relation import WaitPolicy
+
+    net = uniring(3)
+    algorithm = RandomMinimalRouting(net, derive_seed("stack-no"), WaitPolicy.ANY)
+    report = run_stack(algorithm, REAL_STACK)
+    assert report.clean, report.discrepancy_keys()
+
+
+# ----------------------------------------------------------------------
+# incremental re-decision
+# ----------------------------------------------------------------------
+def test_incremental_flap_matches_cold_on_mesh():
+    from repro.incremental import ExistenceSession, default_link_flap
+
+    net = build_mesh((3, 3))
+    session = ExistenceSession(net)
+    for delta in default_link_flap(net):
+        decision = session.apply(delta)
+        cold = session.full_decide()
+        assert decision.digest == cold.digest
+        assert decision.verdict.verify(session.network)
+        assert decision.refresh.get("scc_frontier_violations", 0) == 0
+    assert session.stats["reused"] >= 1  # the restore replays the schedule
+
+
+def test_incremental_no_side_fast_path():
+    from repro.incremental import ExistenceSession
+    from repro.incremental.deltas import LinkDown, LinkUp
+
+    session = ExistenceSession(network_from_edges(
+        4, [(0, 1), (1, 2), (2, 3), (3, 0)], name="uniring4"
+    ))
+    assert session.decide().verdict.exists is False
+    up = session.apply(LinkUp(0, 1, 1))       # may flip: full re-decide
+    assert up.reused is False
+    down = session.apply(LinkDown(0, 1, 1))   # obstruction survives: reuse
+    assert down.verdict.exists is False
+    assert down.reused is True
+    assert down.digest == session.full_decide().digest
+    assert down.verdict.verify(session.network)
+
+
+def test_incremental_rejects_non_link_deltas():
+    import pytest
+
+    from repro.incremental import ExistenceSession
+    from repro.incremental.deltas import VcAdd
+
+    session = ExistenceSession(build_mesh((3, 3)))
+    with pytest.raises(ValueError, match="network-level"):
+        session.apply(VcAdd(1))

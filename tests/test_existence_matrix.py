@@ -1,0 +1,61 @@
+"""The pinned existence matrix over the whole scenario registry.
+
+Companion to ``test_delta_matrix.py``: for every scenario-registry
+topology the fixtures freeze (a) the existence decision -- verdict,
+method, witness tier, semantic digest, and that both the channel-ordering
+certificate and the synthesized witness machine-verify -- and (b) the
+session-default link-flap re-decision through
+:class:`repro.incremental.ExistenceSession`, including which steps the
+monotone fast paths serve from the previous certificate and that every
+incremental semantic digest equals a cold re-decision's.  Any drift in
+the decision tiers, the witness synthesizer, or the incremental fast
+paths shows up here as an explicit fixture diff.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.golden_matrix import (
+    existence_scenarios,
+    load_existence_delta_fixture,
+    load_existence_fixture,
+    run_existence_case,
+    run_existence_delta_case,
+)
+
+RECORDED = load_existence_fixture()
+RECORDED_DELTAS = load_existence_delta_fixture()
+
+
+def test_fixtures_cover_the_registry():
+    assert sorted(RECORDED) == existence_scenarios()
+    assert sorted(RECORDED_DELTAS) == existence_scenarios()
+
+
+def test_every_scenario_topology_is_orderable():
+    """The registry's pinned big picture: a deadlock-free routing relation
+    exists on every scenario topology, decided authoritatively, and each
+    witness synthesis certified (all pinned in the fixture rows)."""
+    for name, row in RECORDED.items():
+        assert row["exists"] is True, name
+        assert row["authoritative"] is True, name
+        assert row["certificate_verified"] is True, name
+        assert row["witness_certified"] is True, name
+
+
+@pytest.mark.parametrize("name", existence_scenarios())
+def test_existence_decision_matches_fixture(name):
+    assert name in RECORDED, f"regenerate fixture: missing row for {name}"
+    assert run_existence_case(name) == RECORDED[name], f"{name}: decision drifted"
+
+
+@pytest.mark.parametrize("name", existence_scenarios())
+def test_existence_flap_matches_fixture(name):
+    assert name in RECORDED_DELTAS, f"regenerate fixture: missing row for {name}"
+    got = run_existence_delta_case(name)
+    want = RECORDED_DELTAS[name]
+    assert got == want, f"{name}: link-flap re-decision drifted"
+    for step in got["steps"]:
+        assert step["matches_cold"] is True, f"{name}: incremental != cold"
+        assert step["frontier_violations"] == 0, f"{name}: frontier violation"

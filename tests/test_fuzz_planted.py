@@ -40,6 +40,7 @@ def _edge_pairs(graph) -> set[tuple[int, int]]:
 def test_planted_variants_registry():
     assert set(PLANTED_VARIANTS) == {
         "cwg-immediate", "duato-no-indirect", "incremental-stale-scc",
+        "existence-ignore-scc",
     }
     with pytest.raises(ValueError, match="unknown planted variant"):
         planted_stack("no-such-variant")
@@ -162,3 +163,50 @@ def test_no_indirect_corpus_control_cycle_is_indirect_only():
     assert len(indirect_edges) >= 2  # the two chord-made cycle edges
     assert search_escape(alg).deadlock_free is False
     assert search_escape(alg, ecdg_cls=NoIndirectECDG).deadlock_free is True
+
+
+# ----------------------------------------------------------------------
+# the per-edge-scope corpus control for existence-ignore-scc
+# ----------------------------------------------------------------------
+def _shipped_ignore_scc_entry():
+    import json
+    from pathlib import Path
+
+    from repro.fuzz.corpus import CorpusEntry
+
+    corpus = Path(__file__).resolve().parents[1] / "corpus"
+    path = corpus / "planted-existence-ignore-scc-98d1f93076fa.json"
+    return CorpusEntry.from_json(json.loads(path.read_text()))
+
+
+def test_ignore_scc_caught_by_shipped_corpus_control():
+    """On the unidirectional 3-ring the per-edge obstruction scope finds no
+    self-loop constraint (the real obstruction is a 3-cycle of forced
+    precedences), so the broken decider claims YES with an unverified
+    cid-order schedule; the synthesized witness is unroutable for at least
+    one pair, the theorem checker rejects it, and the existence oracle's
+    self-check fires.  The production stack stays quiet: the real decider
+    says NO and every checker agrees the shipped relation deadlocks."""
+    entry = _shipped_ignore_scc_entry()
+    alg = entry.table.build()
+    broken = run_stack(alg, planted_stack("existence-ignore-scc"))
+    assert frozenset(entry.discrepancy_keys) <= broken.discrepancy_keys()
+    assert "existence-divergence:existence<>existence" in broken.discrepancy_keys()
+    assert run_stack(alg, REAL_STACK).clean
+
+
+def test_ignore_scc_decider_is_observably_broken():
+    """The bug at decision level: the real decider proves NO on the
+    unidirectional ring (forced-precedence 3-cycle, no self-loop), the
+    per-edge scope flips it to an uncertified YES."""
+    from repro.fuzz.planted import _decide_ignore_scc
+    from repro.verify import decide_existence
+    from repro.verify.existence import verify_schedule
+
+    net = _shipped_ignore_scc_entry().table.build().network
+    real = decide_existence(net)
+    assert real.exists is False and real.authoritative
+    broken = _decide_ignore_scc(net)
+    assert broken.exists is True and broken.method == "per-edge"
+    assert broken.schedule is not None
+    assert not verify_schedule(net, broken.schedule)
